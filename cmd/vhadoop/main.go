@@ -1,0 +1,205 @@
+// Command vhadoop regenerates the tables and figures of the vHadoop paper
+// (Ye et al., IEEE CLUSTER 2012 Workshops) on the simulated platform.
+//
+// Usage:
+//
+//	vhadoop [flags] <experiment>
+//
+// Experiments: table1, fig2, fig3, fig4a, fig4b, fig5, table2, fig6, fig7,
+// fig8, nmon, all. The nmon experiment runs a monitored Wordcount and
+// writes the monitor's CSV capture plus analyser charts (CPU, disk,
+// network) to the -out directory.
+//
+// Flags:
+//
+//	-seed N    base random seed (default 1)
+//	-reps N    repetitions averaged per configuration (default 3, the
+//	           paper's protocol)
+//	-nodes N   virtual cluster size for the static/migration studies
+//	           (default 16)
+//	-quick     trimmed sweeps for a fast smoke run
+//	-out DIR   output directory for fig8's SVG panels (default "fig8-out")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vhadoop/internal/core"
+	"vhadoop/internal/experiments"
+	"vhadoop/internal/nmon"
+	"vhadoop/internal/sim"
+	"vhadoop/internal/workloads"
+)
+
+// runNmon reproduces the platform's monitoring flow: a Wordcount under full
+// nmon observation, then the analyser's report, CSV capture and charts.
+func runNmon(cfg experiments.Config, outDir string) error {
+	opts := core.DefaultOptions()
+	opts.Seed = cfg.Seed
+	opts.Nodes = cfg.Nodes
+	pl := core.MustNewPlatform(opts)
+	mon := nmon.New(pl.Engine, 2.0)
+	for _, vm := range pl.VMs {
+		mon.Watch(vm)
+	}
+	for _, pm := range pl.PMs {
+		mon.WatchMachine(pm)
+	}
+	mon.WatchDisk(pl.Filer.Disk)
+	mon.WatchLink(pl.Filer.NICTx)
+	mon.WatchLink(pl.Filer.NICRx)
+	mon.Start()
+	if _, err := pl.Run(func(p *sim.Proc) error {
+		defer mon.Stop()
+		_, err := workloads.RunWordcount(p, pl, "/nmon/corpus", 1024e6, 4, true)
+		return err
+	}); err != nil {
+		return err
+	}
+	rep := mon.Analyze()
+	fmt.Printf("nmon: bottleneck %s (%s) at %.0f%% mean utilisation"+"\n",
+		rep.Bottleneck.Resource, rep.Bottleneck.Kind, rep.Bottleneck.MeanUtil*100)
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	csvFile, err := os.Create(filepath.Join(outDir, "nmon.csv"))
+	if err != nil {
+		return err
+	}
+	defer csvFile.Close()
+	if err := mon.WriteCSV(csvFile); err != nil {
+		return err
+	}
+	for _, chart := range []struct {
+		metric nmon.Metric
+		file   string
+	}{
+		{nmon.MetricCPU, "cpu.svg"},
+		{nmon.MetricDiskBps, "disk.svg"},
+		{nmon.MetricNetBps, "net.svg"},
+	} {
+		svg := mon.RenderSVG(chart.metric, nmon.ChartOptions{})
+		if err := os.WriteFile(filepath.Join(outDir, chart.file), []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("nmon analyser chart written: %s"+"\n", filepath.Join(outDir, chart.file))
+	}
+	fmt.Printf("nmon capture written: %s"+"\n", filepath.Join(outDir, "nmon.csv"))
+	return nil
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "base random seed")
+	reps := flag.Int("reps", 3, "repetitions averaged per configuration")
+	nodes := flag.Int("nodes", 16, "virtual cluster size")
+	quick := flag.Bool("quick", false, "trimmed sweeps")
+	out := flag.String("out", "fig8-out", "output directory for fig8 SVGs")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vhadoop [flags] <table1|fig2|fig3|fig4a|fig4b|fig5|table2|fig6|fig7|fig8|nmon|all>")
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Reps: *reps, Nodes: *nodes, Quick: *quick}
+
+	run := func(name string) error {
+		start := time.Now()
+		defer func() {
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}()
+		switch name {
+		case "table1":
+			fmt.Println("Table I: MapReduce-based parallel benchmarks")
+			fmt.Println(experiments.Table1())
+		case "fig2":
+			res, err := experiments.RunFig2(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 2: Wordcount, normal vs cross-domain (16-node cluster)")
+			fmt.Println(res.Table())
+		case "fig3":
+			res, err := experiments.RunFig3(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+		case "fig4a":
+			res, err := experiments.RunFig4a(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 4(a): TeraSort, generation and sort time vs data size")
+			fmt.Println(res.Table())
+		case "fig4b":
+			res, err := experiments.RunFig4b(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 4(b): TestDFSIO read/write throughput")
+			fmt.Println(res.Table())
+		case "fig5", "table2":
+			res, err := experiments.RunFig5(cfg)
+			if err != nil {
+				return err
+			}
+			if name == "fig5" {
+				fmt.Println("Figure 5: per-VM migration time and downtime")
+				fmt.Println(res.PerVMTable())
+			}
+			fmt.Println("Table II: overall migration time and downtime of the cluster")
+			fmt.Println(res.Table2())
+		case "fig6":
+			res, err := experiments.RunFig6(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 6: parallel clustering on the Synthetic Control data set")
+			fmt.Println(res.Table())
+		case "fig7":
+			res, err := experiments.RunFig7(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 7: visualizing-sample clustering across cluster sizes")
+			fmt.Println(res.Table())
+		case "fig8":
+			res, err := experiments.RunFig8(cfg)
+			if err != nil {
+				return err
+			}
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				return err
+			}
+			for _, panel := range res.Order {
+				path := filepath.Join(*out, panel+".svg")
+				if err := os.WriteFile(path, []byte(res.SVGs[panel]), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("Figure 8 panel written: %s\n", path)
+			}
+		case "nmon":
+			if err := runNmon(cfg, *out); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		names = []string{"table1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "nmon"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "vhadoop: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Clustering runs all six MapReduce-based parallel clustering algorithms of
+// the paper's Machine Learning Algorithm Library on the 1000-sample
+// DisplayClustering mixture, prints their statistics, and writes Figure
+// 8-style convergence SVGs to ./clustering-out/.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"vhadoop/internal/clustering"
+	"vhadoop/internal/core"
+	"vhadoop/internal/datasets"
+	"vhadoop/internal/sim"
+	"vhadoop/internal/viz"
+)
+
+func main() {
+	opts := core.DefaultOptions()
+	opts.Nodes = 8
+
+	pts, _ := datasets.DisplayClusteringSample(sim.New(opts.Seed).Rand())
+	vectors := clustering.FromFloats(pts)
+
+	type algo struct {
+		name string
+		run  func(p *sim.Proc, d *clustering.Driver) (clustering.Result, error)
+	}
+	algos := []algo{
+		{"canopy", func(p *sim.Proc, d *clustering.Driver) (clustering.Result, error) {
+			return clustering.CanopyMR(p, d, clustering.CanopyOptions{T1: 3, T2: 1.5, Distance: clustering.Euclidean})
+		}},
+		{"dirichlet", func(p *sim.Proc, d *clustering.Driver) (clustering.Result, error) {
+			return clustering.DirichletMR(p, d, clustering.DefaultDirichletOptions(10))
+		}},
+		{"fuzzykmeans", func(p *sim.Proc, d *clustering.Driver) (clustering.Result, error) {
+			o := clustering.DefaultFuzzyKMeansOptions(3)
+			o.M = 3
+			return clustering.FuzzyKMeansMR(p, d, d.InitCenters(3), o)
+		}},
+		{"kmeans", func(p *sim.Proc, d *clustering.Driver) (clustering.Result, error) {
+			return clustering.KMeansMR(p, d, d.InitCenters(3), clustering.DefaultKMeansOptions(3))
+		}},
+		{"meanshift", func(p *sim.Proc, d *clustering.Driver) (clustering.Result, error) {
+			return clustering.MeanShiftMR(p, d, clustering.DefaultMeanShiftOptions(2, 1))
+		}},
+		{"minhash", func(p *sim.Proc, d *clustering.Driver) (clustering.Result, error) {
+			return clustering.MinHashMR(p, d, clustering.DefaultMinHashOptions())
+		}},
+	}
+
+	outDir := "clustering-out"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	sample := viz.RenderClusters(vectors, clustering.Result{}, viz.DefaultOptions("Sample Data"))
+	if err := os.WriteFile(filepath.Join(outDir, "sample-data.svg"), []byte(sample), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %10s %6s %8s %6s\n", "algorithm", "runtime", "iters", "clusters", "jobs")
+	for _, a := range algos {
+		// Fresh platform per algorithm so runs are independent (the paper
+		// runs each program separately).
+		pl := core.MustNewPlatform(opts)
+		d := clustering.NewDriver(pl, "/ml/input")
+		var res clustering.Result
+		_, err := pl.Run(func(p *sim.Proc) error {
+			if err := d.Load(p, vectors); err != nil {
+				return err
+			}
+			var err error
+			res, err = a.run(p, d)
+			return err
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", a.name, err)
+		}
+		fmt.Printf("%-12s %8.1f s %6d %8d %6d\n",
+			a.name, res.Runtime, res.Iterations, len(res.Centers), len(res.JobStats))
+		svg := viz.RenderClusters(vectors, res, viz.DefaultOptions(a.name))
+		path := filepath.Join(outDir, a.name+".svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nconvergence SVGs written to %s/\n", outDir)
+}

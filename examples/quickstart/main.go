@@ -1,0 +1,59 @@
+// Quickstart: provision a 16-node hadoop virtual cluster, load a 512 MB
+// corpus into HDFS and run Wordcount — the "hello world" of the vHadoop
+// platform. Prints job statistics and the ten most frequent words.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"vhadoop/internal/core"
+	"vhadoop/internal/sim"
+	"vhadoop/internal/workloads"
+)
+
+func main() {
+	// A platform is a simulated testbed: two physical machines, an NFS
+	// filer, and a virtual cluster of VMs running HDFS + MapReduce daemons.
+	pl := core.MustNewPlatform(core.DefaultOptions())
+
+	var res workloads.WordcountResult
+	end, err := pl.Run(func(p *sim.Proc) error {
+		var err error
+		res, err = workloads.RunWordcount(p, pl, "/quickstart/corpus", 512e6, 4, true)
+		return err
+	})
+	if err != nil {
+		log.Fatalf("wordcount failed: %v", err)
+	}
+
+	s := res.Stats
+	fmt.Printf("Wordcount over %.0f MB on a %d-node %s cluster\n",
+		res.InputBytes/1e6, pl.Opts.Nodes, pl.Opts.Layout)
+	fmt.Printf("  job runtime:      %.1f s (virtual)\n", s.Runtime)
+	fmt.Printf("  map tasks:        %d (%d data-local)\n", s.MapTasks, s.LocalMaps)
+	fmt.Printf("  reduce tasks:     %d\n", s.ReduceTasks)
+	fmt.Printf("  shuffled:         %.1f MB\n", s.ShuffledBytes/1e6)
+	fmt.Printf("  distinct words:   %d\n", len(res.Counts))
+	fmt.Printf("  simulation ended: t=%.1f s\n", end)
+
+	type wc struct {
+		word string
+		n    int
+	}
+	top := make([]wc, 0, len(res.Counts))
+	for w, n := range res.Counts {
+		top = append(top, wc{w, n})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].n != top[j].n {
+			return top[i].n > top[j].n
+		}
+		return top[i].word < top[j].word
+	})
+	fmt.Println("  top words:")
+	for i := 0; i < 10 && i < len(top); i++ {
+		fmt.Printf("    %-10s %6d\n", top[i].word, top[i].n)
+	}
+}

@@ -1,0 +1,3 @@
+module vhadoop
+
+go 1.22

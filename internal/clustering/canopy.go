@@ -1,0 +1,142 @@
+package clustering
+
+import (
+	"fmt"
+
+	"vhadoop/internal/mapreduce"
+	"vhadoop/internal/sim"
+)
+
+// CanopyOptions configures canopy clustering (Mahout's CanopyDriver): T1 is
+// the loose distance (points within it join the canopy), T2 the tight one
+// (points within it are removed from further canopy creation). T1 > T2.
+type CanopyOptions struct {
+	T1, T2   float64
+	Distance Distance
+}
+
+// canopyCluster runs the sequential canopy pass over points: the exact
+// routine used by the reference implementation, by each mapper on its split,
+// and by the reducer on the mapper-produced centers.
+func canopyCluster(points []Vector, opts CanopyOptions) []Vector {
+	var centers []Vector
+	for _, pt := range points {
+		inTight := false
+		for _, c := range centers {
+			if opts.Distance(pt, c) < opts.T2 {
+				inTight = true
+				break
+			}
+		}
+		if !inTight {
+			centers = append(centers, pt.Clone())
+		}
+	}
+	return centers
+}
+
+// Canopy is the in-memory reference implementation: one pass creates the
+// canopies, a second assigns each point to its nearest canopy center.
+func Canopy(vectors []Vector, opts CanopyOptions) (Result, error) {
+	if _, err := checkDims(vectors); err != nil {
+		return Result{}, err
+	}
+	if err := validateCanopy(opts); err != nil {
+		return Result{}, err
+	}
+	centers := canopyCluster(vectors, opts)
+	return Result{
+		Algorithm:   "canopy",
+		Centers:     centers,
+		Assignments: Assignments(vectors, centers, opts.Distance),
+		Iterations:  1,
+		History:     [][]Vector{centers},
+	}, nil
+}
+
+func validateCanopy(opts CanopyOptions) error {
+	if opts.Distance == nil {
+		return fmt.Errorf("clustering: canopy needs a distance measure")
+	}
+	if opts.T1 <= opts.T2 || opts.T2 <= 0 {
+		return fmt.Errorf("clustering: canopy needs T1 > T2 > 0, got T1=%v T2=%v", opts.T1, opts.T2)
+	}
+	return nil
+}
+
+// canopyMapper builds canopies over its split and emits their centers when
+// the split ends (Hadoop's cleanup hook).
+type canopyMapper struct {
+	opts    CanopyOptions
+	centers []Vector
+}
+
+func (m *canopyMapper) Map(_ string, value any, _ mapreduce.Emit) {
+	pt := Vector(value.([]float64))
+	inTight := false
+	for _, c := range m.centers {
+		if m.opts.Distance(pt, c) < m.opts.T2 {
+			inTight = true
+			break
+		}
+	}
+	if !inTight {
+		m.centers = append(m.centers, pt.Clone())
+	}
+}
+
+func (m *canopyMapper) Close(emit mapreduce.Emit) {
+	for _, c := range m.centers {
+		emit("centroid", c, float64(len(c)*8+16))
+	}
+}
+
+// CanopyMR runs canopy generation as a single MapReduce job, Mahout-style:
+// each mapper canopies its split, the single reducer re-canopies the mapper
+// centers into the final set.
+func CanopyMR(p *sim.Proc, d *Driver, opts CanopyOptions) (Result, error) {
+	if len(d.vectors) == 0 {
+		return Result{}, fmt.Errorf("clustering: driver has no loaded vectors")
+	}
+	if err := validateCanopy(opts); err != nil {
+		return Result{}, err
+	}
+	res := Result{Algorithm: "canopy"}
+	start := p.Now()
+	state, err := d.writeState(p, "canopy", 1)
+	if err != nil {
+		return res, err
+	}
+	cfg := d.iterationJob("canopy", state, 1,
+		func() mapreduce.Mapper { return &canopyMapper{opts: opts} },
+		func() mapreduce.Reducer {
+			return mapreduce.ReducerFunc(func(key string, values []any, emit mapreduce.Emit) {
+				pts := make([]Vector, len(values))
+				for i, v := range values {
+					pts[i] = v.(Vector)
+				}
+				for _, c := range canopyCluster(pts, opts) {
+					emit("canopy", c, float64(len(c)*8+16))
+				}
+			})
+		},
+		nil,
+	)
+	cfg.Cost.MapCPUPerRecord = d.perRecordCost(48) // typical live canopy count
+	out, stats, err := d.pl.MR.RunAndCollect(p, cfg)
+	if err != nil {
+		return res, err
+	}
+	res.JobStats = append(res.JobStats, stats)
+	res.Iterations = 1
+	for _, kv := range out {
+		res.Centers = append(res.Centers, kv.Value.(Vector))
+	}
+	if len(res.Centers) == 0 {
+		return res, fmt.Errorf("clustering: canopy produced no centers")
+	}
+	res.History = [][]Vector{res.Centers}
+	res.Assignments = Assignments(d.vectors, res.Centers, opts.Distance)
+	res.Runtime = p.Now() - start
+	return res, nil
+}

@@ -1,0 +1,224 @@
+package clustering
+
+import (
+	"fmt"
+
+	"vhadoop/internal/core"
+	"vhadoop/internal/datasets"
+	"vhadoop/internal/mapreduce"
+	"vhadoop/internal/sim"
+)
+
+// Result is the outcome of one clustering run (in-memory or MapReduce).
+type Result struct {
+	Algorithm   string
+	Centers     []Vector
+	Assignments []int // per input vector; -1 if the algorithm does not assign
+	Iterations  int
+	Runtime     sim.Time // wall-clock virtual time of the MapReduce run
+	JobStats    []mapreduce.JobStats
+	// History keeps the centers after each iteration, oldest first — the
+	// data Figure 8's convergence visualisation superimposes.
+	History [][]Vector
+	// Groups holds cluster membership sets for algorithms whose natural
+	// output is groups rather than centroids (MinHash).
+	Groups [][]int
+}
+
+// Driver runs clustering algorithms as sequences of MapReduce jobs on a
+// vHadoop platform, mirroring how Mahout drives Hadoop.
+type Driver struct {
+	pl      *core.Platform
+	name    string
+	vectors []Vector
+
+	// NumMaps is the map-task count per iteration job. Mahout sizes the map
+	// count to the cluster's capacity, so it defaults to the worker count.
+	NumMaps int
+	// BytesPerVector is the virtual on-disk size of one serialized vector.
+	BytesPerVector float64
+	// StateBytesPerCluster is the virtual size of one serialized cluster in
+	// the per-iteration state file every mapper reads.
+	StateBytesPerCluster float64
+	// Cost charges per-record CPU for the distance computations.
+	Cost mapreduce.CostModel
+
+	iteration int
+}
+
+// NewDriver prepares a driver for the given input name. Call Load before
+// running any algorithm.
+func NewDriver(pl *core.Platform, name string) *Driver {
+	return &Driver{
+		pl:      pl,
+		name:    name,
+		NumMaps: len(pl.Workers()),
+		Cost: mapreduce.CostModel{
+			MapCPUPerRecord:    2e-4, // distance computations per point
+			ReduceCPUPerRecord: 5e-5,
+			SortCPUPerByte:     5e-9,
+			TaskSetupCPU:       1.5,
+		},
+	}
+}
+
+// Vectors returns the loaded input vectors.
+func (d *Driver) Vectors() []Vector { return d.vectors }
+
+// Platform returns the underlying platform.
+func (d *Driver) Platform() *core.Platform { return d.pl }
+
+// Load uploads the vectors to HDFS as the algorithm input. Serialized sizes
+// scale with the data dimensionality (a Mahout VectorWritable of the 60-dim
+// control series is an order of magnitude bigger than a 2-D sample, and so
+// is a cluster with its per-dimension statistics), unless the caller set
+// them explicitly before Load.
+func (d *Driver) Load(p *sim.Proc, vectors []Vector) error {
+	dims, err := checkDims(vectors)
+	if err != nil {
+		return err
+	}
+	if d.BytesPerVector == 0 {
+		d.BytesPerVector = 64 + 16*float64(dims)
+	}
+	if d.StateBytesPerCluster == 0 {
+		d.StateBytesPerCluster = 8e3 + 1e3*float64(dims)
+	}
+	d.vectors = vectors
+	raw := make([][]float64, len(vectors))
+	for i, v := range vectors {
+		raw[i] = v
+	}
+	recs := datasets.VectorRecords(raw, d.BytesPerVector)
+	size := d.BytesPerVector * float64(len(vectors))
+	_, werr := d.pl.DFS.Write(p, d.pl.Master, d.name, size, recs)
+	return werr
+}
+
+// InitCenters samples k distinct input vectors as initial centers, using
+// the platform's deterministic random stream.
+func (d *Driver) InitCenters(k int) []Vector {
+	if k > len(d.vectors) {
+		k = len(d.vectors)
+	}
+	rng := d.pl.Engine.Rand()
+	perm := rng.Perm(len(d.vectors))
+	centers := make([]Vector, k)
+	for i := 0; i < k; i++ {
+		centers[i] = d.vectors[perm[i]].Clone()
+	}
+	return centers
+}
+
+// writeState persists the per-iteration cluster state to HDFS and returns
+// its name; every mapper of the next job reads it as a side input.
+func (d *Driver) writeState(p *sim.Proc, algo string, nClusters int) (string, error) {
+	d.iteration++
+	name := fmt.Sprintf("%s.%s-state-%04d", d.name, algo, d.iteration)
+	size := d.StateBytesPerCluster * float64(nClusters)
+	if size < 1e3 {
+		size = 1e3
+	}
+	if _, err := d.pl.DFS.Write(p, d.pl.Master, name, size, nil); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// perRecordCost returns the VCPU seconds one input record costs when scored
+// against nCenters centers (≈10 ns per dimension operation, the measured
+// rate of tight distance loops on the testbed's cores).
+func (d *Driver) perRecordCost(nCenters int) float64 {
+	dims := 0
+	if len(d.vectors) > 0 {
+		dims = len(d.vectors[0])
+	}
+	return float64(nCenters*dims) * 1e-7
+}
+
+// iterationJob assembles the standard per-iteration job around the given
+// mapper/reducer factories.
+func (d *Driver) iterationJob(algo, state string, reduces int,
+	newMapper func() mapreduce.Mapper, newReducer func() mapreduce.Reducer,
+	newCombiner func() mapreduce.Reducer) mapreduce.JobConfig {
+	cfg := mapreduce.JobConfig{
+		Name:       fmt.Sprintf("%s-iter%04d", algo, d.iteration),
+		Input:      []string{d.name},
+		NumReduces: reduces,
+		NumMaps:    d.NumMaps,
+		NewMapper:  newMapper,
+		NewReducer: newReducer,
+		Cost:       d.Cost,
+	}
+	if state != "" {
+		cfg.SideInput = []string{state}
+	}
+	if newCombiner != nil {
+		cfg.NewCombiner = newCombiner
+	}
+	return cfg
+}
+
+// partial is the additive statistic flowing from mappers to reducers in the
+// centroid-style algorithms: a weighted vector sum (plus a sum of squares
+// for the model-based ones).
+type partial struct {
+	sum    Vector
+	sumSq  Vector
+	weight float64
+	count  int
+}
+
+func newPartial(dim int, squares bool) *partial {
+	p := &partial{sum: Zero(dim)}
+	if squares {
+		p.sumSq = Zero(dim)
+	}
+	return p
+}
+
+func (a *partial) add(b *partial) {
+	a.sum.Add(b.sum)
+	if a.sumSq != nil && b.sumSq != nil {
+		a.sumSq.Add(b.sumSq)
+	}
+	a.weight += b.weight
+	a.count += b.count
+}
+
+// partialSize is the virtual size of a serialized partial.
+func partialSize(dim int) float64 { return float64(dim)*8 + 32 }
+
+// sumPartialsReducer folds all partials for a key into one.
+func sumPartials(values []any) *partial {
+	var acc *partial
+	for _, v := range values {
+		pv := v.(*partial)
+		if acc == nil {
+			c := &partial{sum: pv.sum.Clone(), weight: pv.weight, count: pv.count}
+			if pv.sumSq != nil {
+				c.sumSq = pv.sumSq.Clone()
+			}
+			acc = c
+			continue
+		}
+		acc.add(pv)
+	}
+	return acc
+}
+
+// maxShift returns the largest distance between corresponding old and new
+// centers (the convergence criterion).
+func maxShift(old, new []Vector, dist Distance) float64 {
+	shift := 0.0
+	n := len(old)
+	if len(new) < n {
+		n = len(new)
+	}
+	for i := 0; i < n; i++ {
+		if d := dist(old[i], new[i]); d > shift {
+			shift = d
+		}
+	}
+	return shift
+}

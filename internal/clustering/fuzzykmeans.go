@@ -1,0 +1,199 @@
+package clustering
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"vhadoop/internal/mapreduce"
+	"vhadoop/internal/sim"
+)
+
+// FuzzyKMeansOptions configures fuzzy k-means (Mahout's FuzzyKMeansDriver).
+type FuzzyKMeansOptions struct {
+	K        int
+	MaxIter  int
+	Epsilon  float64
+	M        float64 // fuzziness exponent, > 1 (Mahout default 2)
+	Distance Distance
+}
+
+// DefaultFuzzyKMeansOptions mirrors Mahout 0.6 defaults.
+func DefaultFuzzyKMeansOptions(k int) FuzzyKMeansOptions {
+	return FuzzyKMeansOptions{K: k, MaxIter: 10, Epsilon: 0.001, M: 2, Distance: Euclidean}
+}
+
+// memberships computes the fuzzy membership of v in every center:
+// u_i = 1 / sum_j (d_i/d_j)^(2/(m-1)). A zero distance collapses to a hard
+// assignment.
+func memberships(v Vector, centers []Vector, dist Distance, m float64) []float64 {
+	ds := make([]float64, len(centers))
+	for i, c := range centers {
+		ds[i] = dist(v, c)
+		if ds[i] == 0 {
+			u := make([]float64, len(centers))
+			u[i] = 1
+			return u
+		}
+	}
+	exp := 2 / (m - 1)
+	u := make([]float64, len(centers))
+	for i := range centers {
+		var s float64
+		for j := range centers {
+			s += math.Pow(ds[i]/ds[j], exp)
+		}
+		u[i] = 1 / s
+	}
+	return u
+}
+
+// fuzzyStep performs one fuzzy c-means update of the centers.
+func fuzzyStep(vectors, centers []Vector, dist Distance, m float64) []Vector {
+	dim := len(vectors[0])
+	acc := make([]*partial, len(centers))
+	for i := range acc {
+		acc[i] = newPartial(dim, false)
+	}
+	for _, v := range vectors {
+		u := memberships(v, centers, dist, m)
+		for i := range centers {
+			w := math.Pow(u[i], m)
+			acc[i].sum.AddScaled(v, w)
+			acc[i].weight += w
+		}
+	}
+	out := make([]Vector, len(centers))
+	for i, a := range acc {
+		if a.weight == 0 {
+			out[i] = centers[i].Clone()
+			continue
+		}
+		c := a.sum.Clone()
+		c.Scale(1 / a.weight)
+		out[i] = c
+	}
+	return out
+}
+
+// FuzzyKMeans is the in-memory reference implementation.
+func FuzzyKMeans(vectors []Vector, initial []Vector, opts FuzzyKMeansOptions) (Result, error) {
+	if _, err := checkDims(vectors); err != nil {
+		return Result{}, err
+	}
+	if opts.Distance == nil {
+		opts.Distance = Euclidean
+	}
+	if opts.M <= 1 {
+		return Result{}, fmt.Errorf("clustering: fuzziness m must exceed 1, got %v", opts.M)
+	}
+	centers := make([]Vector, len(initial))
+	for i, c := range initial {
+		centers[i] = c.Clone()
+	}
+	res := Result{Algorithm: "fuzzykmeans"}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		next := fuzzyStep(vectors, centers, opts.Distance, opts.M)
+		res.Iterations++
+		res.History = append(res.History, next)
+		shift := maxShift(centers, next, opts.Distance)
+		centers = next
+		if shift <= opts.Epsilon {
+			break
+		}
+	}
+	res.Centers = centers
+	res.Assignments = Assignments(vectors, centers, opts.Distance)
+	return res, nil
+}
+
+// fuzzyMapper emits a weighted partial toward every center for each vector.
+type fuzzyMapper struct {
+	centers []Vector
+	dist    Distance
+	m       float64
+}
+
+func (fm *fuzzyMapper) Map(_ string, value any, emit mapreduce.Emit) {
+	v := Vector(value.([]float64))
+	u := memberships(v, fm.centers, fm.dist, fm.m)
+	for i := range fm.centers {
+		w := math.Pow(u[i], fm.m)
+		pt := newPartial(len(v), false)
+		pt.sum.AddScaled(v, w)
+		pt.weight = w
+		pt.count = 1
+		emit("c"+strconv.Itoa(i), pt, partialSize(len(v)))
+	}
+}
+
+// FuzzyKMeansMR runs fuzzy k-means as per-iteration MapReduce jobs.
+func FuzzyKMeansMR(p *sim.Proc, d *Driver, initial []Vector, opts FuzzyKMeansOptions) (Result, error) {
+	if len(d.vectors) == 0 {
+		return Result{}, fmt.Errorf("clustering: driver has no loaded vectors")
+	}
+	if opts.Distance == nil {
+		opts.Distance = Euclidean
+	}
+	if opts.M <= 1 {
+		return Result{}, fmt.Errorf("clustering: fuzziness m must exceed 1, got %v", opts.M)
+	}
+	centers := make([]Vector, len(initial))
+	for i, c := range initial {
+		centers[i] = c.Clone()
+	}
+	res := Result{Algorithm: "fuzzykmeans"}
+	start := p.Now()
+	reducer := func() mapreduce.Reducer {
+		return mapreduce.ReducerFunc(func(key string, values []any, emit mapreduce.Emit) {
+			acc := sumPartials(values)
+			if acc.weight == 0 {
+				return
+			}
+			c := acc.sum.Clone()
+			c.Scale(1 / acc.weight)
+			emit(key, c, float64(len(c)*8+16))
+		})
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		state, err := d.writeState(p, "fuzzykmeans", len(centers))
+		if err != nil {
+			return res, err
+		}
+		captured := centers
+		cfg := d.iterationJob("fuzzykmeans", state, 1,
+			func() mapreduce.Mapper { return &fuzzyMapper{centers: captured, dist: opts.Distance, m: opts.M} },
+			reducer,
+			func() mapreduce.Reducer { return kmeansCombiner() },
+		)
+		cfg.Cost.MapCPUPerRecord = 2 * d.perRecordCost(len(captured)) // pow() on top of distances
+		out, stats, err := d.pl.MR.RunAndCollect(p, cfg)
+		if err != nil {
+			return res, err
+		}
+		res.JobStats = append(res.JobStats, stats)
+		res.Iterations++
+
+		next := make([]Vector, len(centers))
+		for i := range next {
+			next[i] = centers[i].Clone()
+		}
+		for _, kv := range out {
+			idx, err := strconv.Atoi(kv.Key[1:])
+			if err != nil || idx < 0 || idx >= len(next) {
+				return res, fmt.Errorf("clustering: bad reduce key %q", kv.Key)
+			}
+			next[idx] = kv.Value.(Vector)
+		}
+		res.History = append(res.History, next)
+		shift := maxShift(centers, next, opts.Distance)
+		centers = next
+		if shift <= opts.Epsilon {
+			break
+		}
+	}
+	res.Centers = centers
+	res.Assignments = Assignments(d.vectors, centers, opts.Distance)
+	res.Runtime = p.Now() - start
+	return res, nil
+}

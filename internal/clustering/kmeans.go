@@ -1,0 +1,173 @@
+package clustering
+
+import (
+	"fmt"
+	"strconv"
+
+	"vhadoop/internal/mapreduce"
+	"vhadoop/internal/sim"
+)
+
+// KMeansOptions configures k-means (Mahout's KMeansDriver parameters).
+type KMeansOptions struct {
+	K        int
+	MaxIter  int
+	Epsilon  float64 // convergence: stop when no center moves further
+	Distance Distance
+}
+
+// DefaultKMeansOptions mirrors Mahout 0.6 defaults.
+func DefaultKMeansOptions(k int) KMeansOptions {
+	return KMeansOptions{K: k, MaxIter: 10, Epsilon: 0.001, Distance: Euclidean}
+}
+
+// kmeansStep computes one Lloyd iteration: assign each vector to its nearest
+// center and return the new centroids (empty clusters keep their center).
+// Both the reference implementation and the MapReduce reducer use this exact
+// arithmetic, so the two paths agree.
+func kmeansStep(vectors, centers []Vector, dist Distance) []Vector {
+	dim := len(vectors[0])
+	acc := make([]*partial, len(centers))
+	for i := range acc {
+		acc[i] = newPartial(dim, false)
+	}
+	for _, v := range vectors {
+		c, _ := Nearest(v, centers, dist)
+		acc[c].sum.Add(v)
+		acc[c].count++
+	}
+	out := make([]Vector, len(centers))
+	for i, a := range acc {
+		if a.count == 0 {
+			out[i] = centers[i].Clone()
+			continue
+		}
+		c := a.sum.Clone()
+		c.Scale(1 / float64(a.count))
+		out[i] = c
+	}
+	return out
+}
+
+// KMeans is the in-memory reference implementation.
+func KMeans(vectors []Vector, initial []Vector, opts KMeansOptions) (Result, error) {
+	if _, err := checkDims(vectors); err != nil {
+		return Result{}, err
+	}
+	if opts.Distance == nil {
+		opts.Distance = Euclidean
+	}
+	centers := make([]Vector, len(initial))
+	for i, c := range initial {
+		centers[i] = c.Clone()
+	}
+	res := Result{Algorithm: "kmeans"}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		next := kmeansStep(vectors, centers, opts.Distance)
+		res.Iterations++
+		res.History = append(res.History, next)
+		shift := maxShift(centers, next, opts.Distance)
+		centers = next
+		if shift <= opts.Epsilon {
+			break
+		}
+	}
+	res.Centers = centers
+	res.Assignments = Assignments(vectors, centers, opts.Distance)
+	return res, nil
+}
+
+// kmeansMapper assigns each input vector to its nearest current center and
+// emits a partial (sum, count) toward that center.
+type kmeansMapper struct {
+	centers []Vector
+	dist    Distance
+}
+
+func (m *kmeansMapper) Map(_ string, value any, emit mapreduce.Emit) {
+	v := Vector(value.([]float64))
+	c, _ := Nearest(v, m.centers, m.dist)
+	pt := newPartial(len(v), false)
+	pt.sum.Add(v)
+	pt.count = 1
+	emit("c"+strconv.Itoa(c), pt, partialSize(len(v)))
+}
+
+// kmeansReducer folds partials into the new centroid.
+func kmeansReducer() mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(key string, values []any, emit mapreduce.Emit) {
+		acc := sumPartials(values)
+		c := acc.sum.Clone()
+		c.Scale(1 / float64(acc.count))
+		emit(key, c, float64(len(c)*8+16))
+	})
+}
+
+// kmeansCombiner pre-folds partials map-side.
+func kmeansCombiner() mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(key string, values []any, emit mapreduce.Emit) {
+		acc := sumPartials(values)
+		emit(key, acc, partialSize(len(acc.sum)))
+	})
+}
+
+// KMeansMR runs k-means as per-iteration MapReduce jobs on the driver's
+// platform, exactly as Mahout's KMeansDriver does: each iteration ships the
+// current centers to every mapper (side input), maps emit partial sums per
+// cluster, a combiner folds them map-side and one reducer produces the new
+// centers.
+func KMeansMR(p *sim.Proc, d *Driver, initial []Vector, opts KMeansOptions) (Result, error) {
+	if len(d.vectors) == 0 {
+		return Result{}, fmt.Errorf("clustering: driver has no loaded vectors")
+	}
+	if opts.Distance == nil {
+		opts.Distance = Euclidean
+	}
+	centers := make([]Vector, len(initial))
+	for i, c := range initial {
+		centers[i] = c.Clone()
+	}
+	res := Result{Algorithm: "kmeans"}
+	start := p.Now()
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		state, err := d.writeState(p, "kmeans", len(centers))
+		if err != nil {
+			return res, err
+		}
+		captured := centers
+		cfg := d.iterationJob("kmeans", state, 1,
+			func() mapreduce.Mapper { return &kmeansMapper{centers: captured, dist: opts.Distance} },
+			func() mapreduce.Reducer { return kmeansReducer() },
+			kmeansCombiner,
+		)
+		cfg.Cost.MapCPUPerRecord = d.perRecordCost(len(captured))
+		out, stats, err := d.pl.MR.RunAndCollect(p, cfg)
+		if err != nil {
+			return res, err
+		}
+		res.JobStats = append(res.JobStats, stats)
+		res.Iterations++
+
+		next := make([]Vector, len(centers))
+		for i := range next {
+			next[i] = centers[i].Clone() // empty clusters keep their center
+		}
+		for _, kv := range out {
+			idx, err := strconv.Atoi(kv.Key[1:])
+			if err != nil || idx < 0 || idx >= len(next) {
+				return res, fmt.Errorf("clustering: bad reduce key %q", kv.Key)
+			}
+			next[idx] = kv.Value.(Vector)
+		}
+		res.History = append(res.History, next)
+		shift := maxShift(centers, next, opts.Distance)
+		centers = next
+		if shift <= opts.Epsilon {
+			break
+		}
+	}
+	res.Centers = centers
+	res.Assignments = Assignments(d.vectors, centers, opts.Distance)
+	res.Runtime = p.Now() - start
+	return res, nil
+}

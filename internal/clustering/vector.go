@@ -1,0 +1,157 @@
+// Package clustering is the Machine Learning Algorithm Library of the
+// vHadoop platform: the six MapReduce-based parallel clustering algorithms
+// the paper evaluates — Canopy, k-means, Fuzzy k-means, MeanShift, Dirichlet
+// process clustering and MinHash — in Mahout 0.6's formulations.
+//
+// Every algorithm comes in two forms that compute the same result:
+//
+//   - an in-memory reference implementation (used for correctness tests and
+//     fast local experimentation), and
+//   - a MapReduce driver that runs the iterations as real jobs on a vHadoop
+//     platform, with real vectors flowing through map, combine, shuffle and
+//     reduce while virtual time advances through the simulated cluster.
+package clustering
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense feature vector.
+type Vector []float64
+
+// Clone returns a deep copy.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add accumulates w into v (in place).
+func (v Vector) Add(w Vector) {
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// AddScaled accumulates s*w into v (in place).
+func (v Vector) AddScaled(w Vector, s float64) {
+	for i := range v {
+		v[i] += s * w[i]
+	}
+}
+
+// Scale multiplies v by s (in place).
+func (v Vector) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Zero returns a zero vector of dimension d.
+func Zero(d int) Vector { return make(Vector, d) }
+
+// Distance measures dissimilarity between two vectors.
+type Distance func(a, b Vector) float64
+
+// Euclidean is the L2 distance.
+func Euclidean(a, b Vector) float64 { return math.Sqrt(SquaredEuclidean(a, b)) }
+
+// SquaredEuclidean is the squared L2 distance (cheaper; order-preserving).
+func SquaredEuclidean(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Manhattan is the L1 distance.
+func Manhattan(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Cosine is 1 - cosine similarity.
+func Cosine(a, b Vector) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/math.Sqrt(na*nb)
+}
+
+// Mean returns the centroid of vectors (which must be non-empty).
+func Mean(vectors []Vector) Vector {
+	if len(vectors) == 0 {
+		panic("clustering: mean of no vectors")
+	}
+	m := Zero(len(vectors[0]))
+	for _, v := range vectors {
+		m.Add(v)
+	}
+	m.Scale(1 / float64(len(vectors)))
+	return m
+}
+
+// Nearest returns the index of the center closest to v under dist, plus the
+// distance itself.
+func Nearest(v Vector, centers []Vector, dist Distance) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, c := range centers {
+		if d := dist(v, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// FromFloats converts raw slices to Vectors (sharing storage).
+func FromFloats(raw [][]float64) []Vector {
+	out := make([]Vector, len(raw))
+	for i, r := range raw {
+		out[i] = Vector(r)
+	}
+	return out
+}
+
+// Assignments labels each vector with its nearest center.
+func Assignments(vectors, centers []Vector, dist Distance) []int {
+	out := make([]int, len(vectors))
+	for i, v := range vectors {
+		out[i], _ = Nearest(v, centers, dist)
+	}
+	return out
+}
+
+// WithinClusterSS is the total squared distance of vectors to their assigned
+// centers: k-means' objective function.
+func WithinClusterSS(vectors, centers []Vector, assign []int) float64 {
+	var s float64
+	for i, v := range vectors {
+		s += SquaredEuclidean(v, centers[assign[i]])
+	}
+	return s
+}
+
+func checkDims(vectors []Vector) (int, error) {
+	if len(vectors) == 0 {
+		return 0, fmt.Errorf("clustering: no input vectors")
+	}
+	d := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != d {
+			return 0, fmt.Errorf("clustering: vector %d has dim %d, want %d", i, len(v), d)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"vhadoop/internal/sim"
+)
+
+func TestProvisionNormalLayout(t *testing.T) {
+	pl := MustNewPlatform(DefaultOptions())
+	if len(pl.VMs) != 16 {
+		t.Fatalf("VMs = %d", len(pl.VMs))
+	}
+	for _, vm := range pl.VMs {
+		if vm.Host() != pl.PMs[0] {
+			t.Fatalf("%s on %s in normal layout", vm.Name, vm.Host().Name)
+		}
+	}
+	if len(pl.Workers()) != 15 {
+		t.Fatalf("workers = %d", len(pl.Workers()))
+	}
+	if pl.Master != pl.VMs[0] {
+		t.Fatal("master is not VMs[0]")
+	}
+	if pl.DFS.Namenode() != pl.Master || pl.MR.Master() != pl.Master {
+		t.Fatal("namenode/jobtracker not on the master VM")
+	}
+	if got := len(pl.DFS.Datanodes()); got != 15 {
+		t.Fatalf("datanodes = %d", got)
+	}
+	if got := len(pl.MR.Trackers()); got != 15 {
+		t.Fatalf("trackers = %d", got)
+	}
+}
+
+func TestProvisionCrossDomainLayout(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Layout = CrossDomain
+	pl := MustNewPlatform(opts)
+	perPM := map[string]int{}
+	for _, vm := range pl.VMs {
+		perPM[vm.Host().Name]++
+	}
+	if perPM["pm1"] != 8 || perPM["pm2"] != 8 {
+		t.Fatalf("cross-domain distribution: %v", perPM)
+	}
+}
+
+func TestProvisionRejectsTinyCluster(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Nodes = 1
+	if _, err := NewPlatform(opts); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+}
+
+func TestProvisionRejectsOversizedCluster(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Nodes = 100 // 100 GB of VMs on a 32 GB machine
+	if _, err := NewPlatform(opts); err == nil {
+		t.Fatal("oversized normal-layout cluster accepted")
+	}
+}
+
+func TestRunPropagatesDriverError(t *testing.T) {
+	pl := MustNewPlatform(DefaultOptions())
+	sentinel := errors.New("boom")
+	_, err := pl.Run(func(p *sim.Proc) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunDrainsAndShutsDown(t *testing.T) {
+	pl := MustNewPlatform(DefaultOptions())
+	end, err := pl.Run(func(p *sim.Proc) error {
+		p.Sleep(5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end < 5 {
+		t.Fatalf("simulation ended at %v", end)
+	}
+	if pl.Engine.LiveProcs() != 0 {
+		t.Fatalf("%d processes leaked after Run", pl.Engine.LiveProcs())
+	}
+}
+
+func TestMigrateWorkersMovesEverything(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Nodes = 4
+	pl := MustNewPlatform(opts)
+	_, err := pl.Run(func(p *sim.Proc) error {
+		stats, err := pl.MigrateWorkers(p, pl.PMs[0], pl.PMs[1])
+		if err != nil {
+			return err
+		}
+		if len(stats) != 4 {
+			t.Errorf("migrated %d VMs, want 4", len(stats))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range pl.VMs {
+		if vm.Host() != pl.PMs[1] {
+			t.Fatalf("%s still on %s", vm.Name, vm.Host().Name)
+		}
+	}
+}
+
+func TestDeterministicProvisioning(t *testing.T) {
+	a := MustNewPlatform(DefaultOptions())
+	b := MustNewPlatform(DefaultOptions())
+	endA, errA := a.Run(func(p *sim.Proc) error { p.Sleep(1); return nil })
+	endB, errB := b.Run(func(p *sim.Proc) error { p.Sleep(1); return nil })
+	if errA != nil || errB != nil || endA != endB {
+		t.Fatalf("same-seed platforms diverged: %v/%v %v/%v", endA, errA, endB, errB)
+	}
+}

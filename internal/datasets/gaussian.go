@@ -1,0 +1,41 @@
+package datasets
+
+import "math/rand"
+
+// GaussianComponent is one symmetric 2-D normal distribution.
+type GaussianComponent struct {
+	N      int // samples to draw
+	MeanX  float64
+	MeanY  float64
+	Stddev float64
+}
+
+// DisplayClusteringComponents mirrors Mahout's DisplayClustering demo: 1000
+// samples from three symmetric distributions of very different spread.
+func DisplayClusteringComponents() []GaussianComponent {
+	return []GaussianComponent{
+		{N: 500, MeanX: 1, MeanY: 1, Stddev: 3},
+		{N: 300, MeanX: 1, MeanY: 0, Stddev: 0.5},
+		{N: 200, MeanX: 0, MeanY: 2, Stddev: 0.1},
+	}
+}
+
+// GaussianMixture samples the components in order, returning 2-D points and
+// the index of the generating component for each.
+func GaussianMixture(rng *rand.Rand, comps []GaussianComponent) (points [][]float64, labels []int) {
+	for ci, c := range comps {
+		for i := 0; i < c.N; i++ {
+			points = append(points, []float64{
+				c.MeanX + rng.NormFloat64()*c.Stddev,
+				c.MeanY + rng.NormFloat64()*c.Stddev,
+			})
+			labels = append(labels, ci)
+		}
+	}
+	return points, labels
+}
+
+// DisplayClusteringSample draws the standard 1000-point sample.
+func DisplayClusteringSample(rng *rand.Rand) ([][]float64, []int) {
+	return GaussianMixture(rng, DisplayClusteringComponents())
+}

@@ -1,0 +1,592 @@
+// Package hdfs implements the Hadoop Distributed File System layer of the
+// vHadoop platform: a namenode that maps files to replicated blocks, and
+// datanodes (one per worker VM) that store block data on their NFS-backed
+// virtual disks.
+//
+// Files carry both a virtual size (which drives all I/O and network costs)
+// and, optionally, real records (which MapReduce jobs actually process), so
+// a 1 GB Wordcount input can be simulated at full I/O cost while the mapper
+// code counts real words from a down-scaled corpus.
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vhadoop/internal/sim"
+	"vhadoop/internal/xen"
+)
+
+// Errors returned by namenode operations.
+var (
+	ErrFileExists   = errors.New("hdfs: file already exists")
+	ErrFileNotFound = errors.New("hdfs: file not found")
+	ErrNoDatanodes  = errors.New("hdfs: no live datanodes")
+	ErrNoReplica    = errors.New("hdfs: no live replica for block")
+)
+
+// Config mirrors the Hadoop parameters the paper's Hadoop Module sets.
+type Config struct {
+	BlockSize   float64 // dfs.block.size, bytes
+	Replication int     // dfs.replication
+	// PMAware enables physical-machine-aware placement and replica
+	// selection, the equivalent of configuring a rack topology script. The
+	// paper's virtual clusters (like most simple Hadoop-on-VMs setups) have
+	// none, so by default HDFS sees one flat rack: the second replica lands
+	// on an arbitrary node and readers pick among non-local replicas blindly
+	// — which is precisely why a cross-domain cluster keeps crossing the
+	// slow inter-machine link.
+	PMAware bool
+	// UseHostCache serves repeated block reads from the dom0 page cache,
+	// as the era's file-backed (loopback) Xen disk driver did: recently
+	// written blocks are re-read from host memory, so HDFS reads are fast
+	// on the machine holding the replica — and a cross-domain cluster pays
+	// the gigabit link whenever the replica sits on the other machine.
+	// Disabling it models blktap's O_DIRECT mode, where every block read
+	// hits the NFS filer (an ablation benchmark covers the difference).
+	UseHostCache bool
+}
+
+// DefaultConfig matches Hadoop 0.20 defaults as deployed in the paper's
+// 16-node virtual clusters (64 MB blocks; replication 2 keeps a copy on a
+// second node without tripling traffic on a small cluster).
+func DefaultConfig() Config {
+	return Config{BlockSize: 64e6, Replication: 2, UseHostCache: true}
+}
+
+// Record is one logical input/output record: a real key/value pair plus the
+// number of virtual bytes it stands for.
+type Record struct {
+	Key   string
+	Value any
+	Size  float64
+}
+
+// Block is one replicated HDFS block.
+type Block struct {
+	ID       int
+	File     string
+	Index    int
+	Size     float64
+	Replicas []*Datanode // live replicas
+	Records  []Record    // the real records this block carries
+}
+
+// File is a namenode file entry.
+type File struct {
+	Name   string
+	Size   float64
+	Blocks []*Block
+}
+
+// NumRecords returns the total record count across all blocks.
+func (f *File) NumRecords() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Records)
+	}
+	return n
+}
+
+// Records returns all records of the file in block order.
+func (f *File) Records() []Record {
+	var out []Record
+	for _, b := range f.Blocks {
+		out = append(out, b.Records...)
+	}
+	return out
+}
+
+// Datanode stores blocks on one worker VM.
+type Datanode struct {
+	VM     *xen.VM
+	blocks map[int]*Block
+	used   float64
+	dead   bool
+}
+
+// Used returns the bytes stored on this datanode.
+func (d *Datanode) Used() float64 { return d.used }
+
+// NumBlocks returns the number of block replicas held.
+func (d *Datanode) NumBlocks() int { return len(d.blocks) }
+
+// Alive reports whether the datanode is serving.
+func (d *Datanode) Alive() bool {
+	return !d.dead && d.VM.State() != xen.StateCrashed && d.VM.State() != xen.StateShutdown
+}
+
+// Cluster is one HDFS instance: a namenode VM plus datanodes.
+type Cluster struct {
+	cfg       Config
+	namenode  *xen.VM
+	datanodes []*Datanode
+	files     map[string]*File
+	nextBlock int
+	rng       *rand.Rand // placement and replica selection randomness
+
+	bytesWritten float64
+	bytesRead    float64
+}
+
+// NewCluster creates an empty HDFS instance served by the given namenode VM.
+func NewCluster(cfg Config, namenode *xen.VM) *Cluster {
+	if cfg.BlockSize <= 0 {
+		panic("hdfs: block size must be positive")
+	}
+	if cfg.Replication < 1 {
+		panic("hdfs: replication must be at least 1")
+	}
+	return &Cluster{
+		cfg:      cfg,
+		namenode: namenode,
+		files:    make(map[string]*File),
+		rng:      namenode.Engine().Rand(),
+	}
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Namenode returns the namenode VM.
+func (c *Cluster) Namenode() *xen.VM { return c.namenode }
+
+// AddDatanode registers vm as a datanode and returns its handle.
+func (c *Cluster) AddDatanode(vm *xen.VM) *Datanode {
+	d := &Datanode{VM: vm, blocks: make(map[int]*Block)}
+	c.datanodes = append(c.datanodes, d)
+	return d
+}
+
+// Datanodes returns all datanodes in registration order.
+func (c *Cluster) Datanodes() []*Datanode { return c.datanodes }
+
+// DatanodeOf returns the datanode running on vm, or nil.
+func (c *Cluster) DatanodeOf(vm *xen.VM) *Datanode {
+	for _, d := range c.datanodes {
+		if d.VM == vm {
+			return d
+		}
+	}
+	return nil
+}
+
+// BytesWritten and BytesRead return cumulative HDFS data-path traffic.
+func (c *Cluster) BytesWritten() float64 { return c.bytesWritten }
+func (c *Cluster) BytesRead() float64    { return c.bytesRead }
+
+// Lookup returns the file entry for name.
+func (c *Cluster) Lookup(name string) (*File, error) {
+	f, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	return f, nil
+}
+
+// Exists reports whether name is in the namespace.
+func (c *Cluster) Exists(name string) bool {
+	_, ok := c.files[name]
+	return ok
+}
+
+// Files returns all file names, sorted.
+func (c *Cluster) Files() []string {
+	names := make([]string, 0, len(c.files))
+	for n := range c.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Delete removes a file and drops its block replicas.
+func (c *Cluster) Delete(name string) error {
+	f, ok := c.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	for _, b := range f.Blocks {
+		for _, d := range b.Replicas {
+			if _, held := d.blocks[b.ID]; held {
+				delete(d.blocks, b.ID)
+				d.used -= b.Size
+			}
+		}
+	}
+	delete(c.files, name)
+	return nil
+}
+
+// alive returns the live datanodes.
+func (c *Cluster) alive() []*Datanode {
+	var out []*Datanode
+	for _, d := range c.datanodes {
+		if d.Alive() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// choosePipeline picks replica targets for one block using Hadoop's policy
+// adapted to the testbed: first replica on the writer's own datanode when it
+// has one, second on a different physical machine when possible, the rest
+// round-robin.
+func (c *Cluster) choosePipeline(client *xen.VM) ([]*Datanode, error) {
+	live := c.alive()
+	if len(live) == 0 {
+		return nil, ErrNoDatanodes
+	}
+	want := c.cfg.Replication
+	if want > len(live) {
+		want = len(live)
+	}
+	var pipeline []*Datanode
+	chosen := make(map[*Datanode]bool)
+	add := func(d *Datanode) {
+		if d != nil && !chosen[d] {
+			pipeline = append(pipeline, d)
+			chosen[d] = true
+		}
+	}
+	// First replica: local datanode if the writer hosts one.
+	if local := c.DatanodeOf(client); local != nil && local.Alive() {
+		add(local)
+	}
+	// Second replica: with a rack topology configured, prefer a different
+	// physical machine ("off-rack"); without one, HDFS picks at random.
+	if c.cfg.PMAware && len(pipeline) > 0 && len(pipeline) < want {
+		srcPM := pipeline[0].VM.Host()
+		off := c.rng.Intn(len(live))
+		for i := 0; i < len(live); i++ {
+			d := live[(off+i)%len(live)]
+			if !chosen[d] && d.VM.Host() != srcPM {
+				add(d)
+				break
+			}
+		}
+	}
+	// Fill the rest from random nodes (flat-rack default policy).
+	for start := c.rng.Intn(len(live)); len(pipeline) < want; start++ {
+		add(live[start%len(live)])
+	}
+	return pipeline, nil
+}
+
+// splitRecords partitions records into per-block groups by cumulative
+// virtual size, mirroring how HDFS cuts a stream into blocks.
+func splitRecords(records []Record, size, blockSize float64) [][]Record {
+	nBlocks := int(size / blockSize)
+	if float64(nBlocks)*blockSize < size {
+		nBlocks++
+	}
+	if nBlocks == 0 {
+		nBlocks = 1
+	}
+	groups := make([][]Record, nBlocks)
+	cum := 0.0
+	for _, r := range records {
+		idx := int(cum / blockSize)
+		if idx >= nBlocks {
+			idx = nBlocks - 1
+		}
+		groups[idx] = append(groups[idx], r)
+		cum += r.Size
+	}
+	return groups
+}
+
+// Write creates a file of the given virtual size carrying records, streaming
+// each block through a replication pipeline: writer -> DN1 -> DN2 -> ...
+// with each datanode persisting to its NFS-backed disk. Pipeline stages
+// stream concurrently, so a block costs roughly its slowest hop.
+func (c *Cluster) Write(p *sim.Proc, client *xen.VM, name string, size float64, records []Record) (*File, error) {
+	if c.Exists(name) {
+		return nil, fmt.Errorf("%w: %s", ErrFileExists, name)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("hdfs: write %s: non-positive size", name)
+	}
+	// Namenode RPC: create + one allocate per block.
+	client.Message(p, c.namenode, 512)
+
+	groups := splitRecords(records, size, c.cfg.BlockSize)
+	f := &File{Name: name, Size: size}
+	remaining := size
+	for i := range groups {
+		bsize := c.cfg.BlockSize
+		if bsize > remaining {
+			bsize = remaining
+		}
+		remaining -= bsize
+		pipeline, err := c.choosePipeline(client)
+		if err != nil {
+			return nil, fmt.Errorf("hdfs: write %s: %w", name, err)
+		}
+		c.nextBlock++
+		b := &Block{
+			ID:      c.nextBlock,
+			File:    name,
+			Index:   i,
+			Size:    bsize,
+			Records: groups[i],
+		}
+		client.Message(p, c.namenode, 256) // allocateBlock
+		if err := c.writeBlock(p, client, b, pipeline); err != nil {
+			return nil, fmt.Errorf("hdfs: write %s block %d: %w", name, i, err)
+		}
+		f.Blocks = append(f.Blocks, b)
+	}
+	c.files[name] = f
+	return f, nil
+}
+
+// writeBlock streams one block through the pipeline. All hops and disk
+// writes run concurrently (streaming), so the block costs its slowest stage.
+func (c *Cluster) writeBlock(p *sim.Proc, client *xen.VM, b *Block, pipeline []*Datanode) error {
+	e := p.Engine()
+	var stages []*sim.Proc
+	prev := client
+	for _, d := range pipeline {
+		d := d
+		src := prev
+		stages = append(stages, e.Spawn("hdfs-pipe", func(q *sim.Proc) {
+			src.SendTo(q, d.VM, b.Size)
+			if c.cfg.UseHostCache {
+				d.VM.WriteDiskTagged(q, blockKey(b), b.Size)
+			} else {
+				d.VM.WriteDisk(q, b.Size)
+			}
+		}))
+		prev = d.VM
+	}
+	if err := sim.WaitProcs(p, stages...); err != nil {
+		return err
+	}
+	for _, d := range pipeline {
+		d.blocks[b.ID] = b
+		d.used += b.Size
+		b.Replicas = append(b.Replicas, d)
+	}
+	c.bytesWritten += b.Size * float64(len(pipeline))
+	return nil
+}
+
+// bestReplica picks the replica a client reads from. A same-VM replica is
+// always preferred (HDFS short-circuit locality). Beyond that, replica
+// selection is PM-aware only when a rack topology is configured; otherwise
+// all non-local replicas look equidistant and the choice rotates blindly —
+// routinely pulling blocks across the inter-machine link in a cross-domain
+// cluster.
+func (c *Cluster) bestReplica(b *Block, client *xen.VM) (*Datanode, error) {
+	var sameVM, samePM, remote []*Datanode
+	for _, d := range b.Replicas {
+		if !d.Alive() {
+			continue
+		}
+		switch {
+		case d.VM == client:
+			sameVM = append(sameVM, d)
+		case d.VM.Host() == client.Host():
+			samePM = append(samePM, d)
+		default:
+			remote = append(remote, d)
+		}
+	}
+	if len(sameVM) > 0 {
+		return sameVM[0], nil
+	}
+	tiers := [][]*Datanode{samePM, remote}
+	if !c.cfg.PMAware {
+		tiers = [][]*Datanode{append(samePM, remote...)}
+	}
+	for _, tier := range tiers {
+		if len(tier) > 0 {
+			return tier[c.rng.Intn(len(tier))], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: block %d of %s", ErrNoReplica, b.ID, b.File)
+}
+
+// ReadBlock moves one block's data to the client VM: the serving replica
+// reads its disk while streaming to the client (concurrent, slowest stage
+// wins). A same-VM replica costs only the disk read.
+func (c *Cluster) ReadBlock(p *sim.Proc, client *xen.VM, b *Block) error {
+	return c.ReadRange(p, client, b, b.Size)
+}
+
+// ReadRange is ReadBlock for a byte sub-range of the block (MapReduce splits
+// finer than one block read only their share).
+func (c *Cluster) ReadRange(p *sim.Proc, client *xen.VM, b *Block, bytes float64) error {
+	if bytes <= 0 {
+		return nil
+	}
+	if bytes > b.Size {
+		bytes = b.Size
+	}
+	d, err := c.bestReplica(b, client)
+	if err != nil {
+		return err
+	}
+	if c.cfg.UseHostCache {
+		e := p.Engine()
+		reader := e.Spawn("hdfs-read-disk", func(q *sim.Proc) {
+			d.VM.ReadDiskTagged(q, blockKey(b), bytes)
+		})
+		var sender *sim.Proc
+		if d.VM != client {
+			sender = e.Spawn("hdfs-read-net", func(q *sim.Proc) {
+				d.VM.SendTo(q, client, bytes)
+			})
+		}
+		procs := []*sim.Proc{reader}
+		if sender != nil {
+			procs = append(procs, sender)
+		}
+		if err := sim.WaitProcs(p, procs...); err != nil {
+			return err
+		}
+		c.bytesRead += bytes
+		return nil
+	}
+	// O_DIRECT path: one coupled relay flow filer -> replica host -> client.
+	relay := p.Engine().Spawn("hdfs-read-relay", func(q *sim.Proc) {
+		d.VM.ReadFromDiskTo(q, client, bytes)
+	})
+	if err := sim.WaitProcs(p, relay); err != nil {
+		return err
+	}
+	c.bytesRead += bytes
+	return nil
+}
+
+// Read moves a whole file to the client VM, block by block, and returns its
+// entry. One namenode RPC resolves the block locations.
+func (c *Cluster) Read(p *sim.Proc, client *xen.VM, name string) (*File, error) {
+	f, err := c.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	client.Message(p, c.namenode, 512)
+	for _, b := range f.Blocks {
+		if err := c.ReadBlock(p, client, b); err != nil {
+			return nil, fmt.Errorf("hdfs: read %s: %w", name, err)
+		}
+	}
+	return f, nil
+}
+
+// blockKey is the page-cache tag for a block's data.
+func blockKey(b *Block) string { return fmt.Sprintf("blk-%d", b.ID) }
+
+// IsLocal reports whether vm holds a replica of b.
+func (c *Cluster) IsLocal(b *Block, vm *xen.VM) bool {
+	for _, d := range b.Replicas {
+		if d.Alive() && d.VM == vm {
+			return true
+		}
+	}
+	return false
+}
+
+// Decommission marks a datanode dead; its replicas stop serving. (The paper
+// relies on Hadoop's fault tolerance to survive migration downtime, and
+// failure-injection tests use this hook.)
+func (c *Cluster) Decommission(d *Datanode) { d.dead = true }
+
+// UnderReplicated returns blocks with fewer live replicas than configured.
+func (c *Cluster) UnderReplicated() []*Block {
+	var out []*Block
+	for _, name := range c.Files() {
+		for _, b := range c.files[name].Blocks {
+			want := c.cfg.Replication
+			if alive := len(c.alive()); want > alive {
+				want = alive
+			}
+			if countLive(b) < want {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+func countLive(b *Block) int {
+	n := 0
+	for _, d := range b.Replicas {
+		if d.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// ReReplicate restores the configured replication factor for every
+// under-replicated block (the namenode's replication monitor, normally a
+// background daemon; exposed as an explicit operation so experiments control
+// when the repair traffic flows). For each block a surviving replica streams
+// the data to a new target chosen like a fresh placement. Returns the number
+// of new replicas created.
+func (c *Cluster) ReReplicate(p *sim.Proc) int {
+	created := 0
+	for _, b := range c.UnderReplicated() {
+		var src *Datanode
+		held := make(map[*Datanode]bool, len(b.Replicas))
+		for _, d := range b.Replicas {
+			if d.Alive() {
+				held[d] = true
+				if src == nil {
+					src = d
+				}
+			}
+		}
+		if src == nil {
+			// Graceful decommission: a drained datanode no longer serves,
+			// but while its VM still runs the disk is intact and can source
+			// the repair copies (HDFS's decommissioning-in-progress state).
+			for _, d := range b.Replicas {
+				if d.VM.State() == xen.StateRunning {
+					src = d
+					break
+				}
+			}
+		}
+		if src == nil {
+			continue // unrecoverable: no live replica holds the data
+		}
+		live := c.alive()
+		want := c.cfg.Replication
+		if want > len(live) {
+			want = len(live)
+		}
+		for countLive(b) < want {
+			var target *Datanode
+			for i, off := 0, c.rng.Intn(len(live)); i < len(live); i++ {
+				d := live[(off+i)%len(live)]
+				if !held[d] {
+					target = d
+					break
+				}
+			}
+			if target == nil {
+				break
+			}
+			src.VM.SendTo(p, target.VM, b.Size)
+			if c.cfg.UseHostCache {
+				target.VM.WriteDiskTagged(p, blockKey(b), b.Size)
+			} else {
+				target.VM.WriteDisk(p, b.Size)
+			}
+			target.blocks[b.ID] = b
+			target.used += b.Size
+			b.Replicas = append(b.Replicas, target)
+			held[target] = true
+			c.bytesWritten += b.Size
+			created++
+		}
+	}
+	return created
+}

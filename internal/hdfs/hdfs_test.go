@@ -1,0 +1,365 @@
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vhadoop/internal/nfs"
+	"vhadoop/internal/phys"
+	"vhadoop/internal/sim"
+	"vhadoop/internal/vnet"
+	"vhadoop/internal/xen"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (±%v)", msg, got, want, tol)
+	}
+}
+
+// testbed builds nPM machines with nVM VMs spread round-robin, a namenode on
+// the first VM and datanodes on the rest.
+type testbed struct {
+	engine  *sim.Engine
+	topo    *phys.Topology
+	mgr     *xen.Manager
+	vms     []*xen.VM
+	cluster *Cluster
+}
+
+func newTestbed(seed int64, nPM, nVM int, cfg Config) *testbed {
+	e := sim.New(seed)
+	f := vnet.NewFabric(e)
+	topo := phys.NewTopology(e, f, 10e9, 0.00001)
+	spec := phys.MachineSpec{
+		Cores: 16, DRAMBytes: 32e9, DiskBW: 100e6,
+		NICBW: 119e6, NICLat: 0.0001, BridgeBW: 500e6, BridgeLat: 0.00002,
+	}
+	for i := 0; i < nPM; i++ {
+		topo.AddMachine(fmt.Sprintf("pm%d", i+1), spec)
+	}
+	filer := topo.AddMachine("filer", spec)
+	mgr := xen.NewManager(topo, nfs.NewServer(topo, filer), xen.DefaultConfig())
+	tb := &testbed{engine: e, topo: topo, mgr: mgr}
+	for i := 0; i < nVM; i++ {
+		host := topo.Machines()[i%nPM]
+		tb.vms = append(tb.vms, mgr.MustDefine(fmt.Sprintf("vm%d", i), 1024e6, host))
+	}
+	tb.cluster = NewCluster(cfg, tb.vms[0])
+	for _, vm := range tb.vms[1:] {
+		tb.cluster.AddDatanode(vm)
+	}
+	return tb
+}
+
+func mkRecords(n int, each float64) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Key: fmt.Sprintf("k%04d", i), Value: i, Size: each}
+	}
+	return recs
+}
+
+func TestWriteCreatesBlocksAndReplicas(t *testing.T) {
+	// PM-aware placement (rack topology configured) for the off-PM check.
+	tb := newTestbed(1, 2, 5, Config{BlockSize: 64e6, Replication: 2, PMAware: true})
+	client := tb.vms[1]
+	var f *File
+	tb.engine.Spawn("writer", func(p *sim.Proc) {
+		var err error
+		f, err = tb.cluster.Write(p, client, "/data", 200e6, mkRecords(100, 2e6))
+		if err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	tb.engine.Run()
+	if f == nil {
+		t.Fatal("no file")
+	}
+	if len(f.Blocks) != 4 { // ceil(200/64)
+		t.Fatalf("blocks = %d, want 4", len(f.Blocks))
+	}
+	var total float64
+	for _, b := range f.Blocks {
+		total += b.Size
+		if len(b.Replicas) != 2 {
+			t.Fatalf("block %d has %d replicas", b.ID, len(b.Replicas))
+		}
+		// First replica must be writer-local (client is a datanode).
+		if b.Replicas[0].VM != client {
+			t.Fatalf("block %d first replica on %s, want writer-local", b.ID, b.Replicas[0].VM.Name)
+		}
+		// Second replica on a different physical machine.
+		if b.Replicas[1].VM.Host() == client.Host() {
+			t.Fatalf("block %d second replica on same PM", b.ID)
+		}
+	}
+	almost(t, total, 200e6, 1, "block sizes sum to file size")
+	if f.NumRecords() != 100 {
+		t.Fatalf("records = %d", f.NumRecords())
+	}
+}
+
+func TestRecordsPartitionedByBlock(t *testing.T) {
+	groups := splitRecords(mkRecords(10, 10e6), 100e6, 40e6)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	if len(groups[0]) != 4 || len(groups[1]) != 4 || len(groups[2]) != 2 {
+		t.Fatalf("group sizes = %d/%d/%d, want 4/4/2", len(groups[0]), len(groups[1]), len(groups[2]))
+	}
+}
+
+func TestDuplicateWriteFails(t *testing.T) {
+	tb := newTestbed(1, 1, 3, DefaultConfig())
+	var err2 error
+	tb.engine.Spawn("writer", func(p *sim.Proc) {
+		if _, err := tb.cluster.Write(p, tb.vms[1], "/x", 10e6, nil); err != nil {
+			t.Errorf("first write: %v", err)
+		}
+		_, err2 = tb.cluster.Write(p, tb.vms[1], "/x", 10e6, nil)
+	})
+	tb.engine.Run()
+	if !errors.Is(err2, ErrFileExists) {
+		t.Fatalf("second write err = %v", err2)
+	}
+}
+
+func TestReadPrefersLocalReplica(t *testing.T) {
+	tb := newTestbed(1, 2, 5, Config{BlockSize: 64e6, Replication: 2})
+	writer := tb.vms[1]
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		if _, err := tb.cluster.Write(p, writer, "/d", 64e6, nil); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	tb.engine.Run()
+	sentBefore := writer.NetRecv()
+	tb.engine.Spawn("r", func(p *sim.Proc) {
+		if _, err := tb.cluster.Read(p, writer, "/d"); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	tb.engine.Run()
+	// Local read: no bytes received over the network.
+	almost(t, writer.NetRecv()-sentBefore, 0, 1, "local read moved network bytes")
+}
+
+func TestReadFallsBackWhenReplicaDies(t *testing.T) {
+	tb := newTestbed(1, 2, 5, Config{BlockSize: 64e6, Replication: 2})
+	writer := tb.vms[1]
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		if _, err := tb.cluster.Write(p, writer, "/d", 64e6, nil); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	tb.engine.Run()
+	// Kill the writer-local replica; a read from another VM must still work.
+	tb.cluster.Decommission(tb.cluster.DatanodeOf(writer))
+	reader := tb.vms[2]
+	var readErr error
+	tb.engine.Spawn("r", func(p *sim.Proc) {
+		_, readErr = tb.cluster.Read(p, reader, "/d")
+	})
+	tb.engine.Run()
+	if readErr != nil {
+		t.Fatalf("read after decommission: %v", readErr)
+	}
+	if got := len(tb.cluster.UnderReplicated()); got != 1 {
+		t.Fatalf("under-replicated blocks = %d, want 1", got)
+	}
+}
+
+func TestReadFailsWhenAllReplicasDead(t *testing.T) {
+	tb := newTestbed(1, 1, 3, Config{BlockSize: 64e6, Replication: 2})
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		if _, err := tb.cluster.Write(p, tb.vms[1], "/d", 64e6, nil); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	tb.engine.Run()
+	for _, d := range tb.cluster.Datanodes() {
+		tb.cluster.Decommission(d)
+	}
+	var readErr error
+	tb.engine.Spawn("r", func(p *sim.Proc) {
+		_, readErr = tb.cluster.Read(p, tb.vms[0], "/d")
+	})
+	tb.engine.Run()
+	if !errors.Is(readErr, ErrNoReplica) {
+		t.Fatalf("err = %v, want ErrNoReplica", readErr)
+	}
+}
+
+func TestDeleteFreesSpace(t *testing.T) {
+	tb := newTestbed(1, 1, 3, Config{BlockSize: 64e6, Replication: 2})
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		if _, err := tb.cluster.Write(p, tb.vms[1], "/d", 128e6, nil); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	tb.engine.Run()
+	var used float64
+	for _, d := range tb.cluster.Datanodes() {
+		used += d.Used()
+	}
+	almost(t, used, 256e6, 1, "2 replicas of 128MB")
+	if err := tb.cluster.Delete("/d"); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range tb.cluster.Datanodes() {
+		if d.Used() != 0 || d.NumBlocks() != 0 {
+			t.Fatalf("datanode not emptied: used=%v blocks=%d", d.Used(), d.NumBlocks())
+		}
+	}
+	if tb.cluster.Exists("/d") {
+		t.Fatal("file still exists")
+	}
+}
+
+func TestReplicationCappedByClusterSize(t *testing.T) {
+	tb := newTestbed(1, 1, 3, Config{BlockSize: 64e6, Replication: 5})
+	var f *File
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		f, _ = tb.cluster.Write(p, tb.vms[1], "/d", 64e6, nil)
+	})
+	tb.engine.Run()
+	if got := len(f.Blocks[0].Replicas); got != 2 { // only 2 datanodes exist
+		t.Fatalf("replicas = %d, want 2", got)
+	}
+}
+
+func TestWriteReplicationCostScaling(t *testing.T) {
+	// Higher replication => more pipeline traffic => slower writes.
+	elapsed := func(repl int) sim.Time {
+		tb := newTestbed(1, 2, 9, Config{BlockSize: 64e6, Replication: repl})
+		var took sim.Time
+		tb.engine.Spawn("w", func(p *sim.Proc) {
+			start := p.Now()
+			if _, err := tb.cluster.Write(p, tb.vms[1], "/d", 256e6, nil); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			took = p.Now() - start
+		})
+		tb.engine.Run()
+		return took
+	}
+	if e1, e3 := elapsed(1), elapsed(3); e3 <= e1 {
+		t.Fatalf("replication 3 write (%v) not slower than replication 1 (%v)", e3, e1)
+	}
+}
+
+func TestIsLocal(t *testing.T) {
+	tb := newTestbed(1, 2, 5, Config{BlockSize: 64e6, Replication: 2})
+	writer := tb.vms[1]
+	var f *File
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		f, _ = tb.cluster.Write(p, writer, "/d", 64e6, nil)
+	})
+	tb.engine.Run()
+	b := f.Blocks[0]
+	if !tb.cluster.IsLocal(b, writer) {
+		t.Fatal("writer not local to its own block")
+	}
+	if tb.cluster.IsLocal(b, tb.vms[0]) {
+		t.Fatal("namenode unexpectedly local to block")
+	}
+}
+
+// Property: for any file size and block size, blocks tile the file exactly
+// and every record lands in exactly one block.
+func TestBlockTilingProperty(t *testing.T) {
+	prop := func(sizeRaw, blockRaw uint16, nRecs uint8) bool {
+		size := float64(sizeRaw%2000+1) * 1e6
+		blockSize := float64(blockRaw%256+16) * 1e6
+		n := int(nRecs % 64)
+		recs := mkRecords(n, size/float64(max(n, 1)))
+		tb := newTestbed(3, 2, 5, Config{BlockSize: blockSize, Replication: 2})
+		var f *File
+		tb.engine.Spawn("w", func(p *sim.Proc) {
+			f, _ = tb.cluster.Write(p, tb.vms[1], "/d", size, recs)
+		})
+		tb.engine.Run()
+		if f == nil {
+			return false
+		}
+		var total float64
+		nr := 0
+		for _, b := range f.Blocks {
+			if b.Size <= 0 || b.Size > blockSize+1 {
+				return false
+			}
+			total += b.Size
+			nr += len(b.Records)
+		}
+		return math.Abs(total-size) < 1 && nr == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestReReplicateRestoresFactor(t *testing.T) {
+	tb := newTestbed(1, 2, 6, Config{BlockSize: 64e6, Replication: 2})
+	writer := tb.vms[1]
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		if _, err := tb.cluster.Write(p, writer, "/d", 256e6, nil); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	tb.engine.Run()
+	// Kill one datanode: some blocks drop to one live replica.
+	tb.cluster.Decommission(tb.cluster.DatanodeOf(writer))
+	lost := len(tb.cluster.UnderReplicated())
+	if lost == 0 {
+		t.Fatal("no under-replicated blocks after decommission")
+	}
+	var created int
+	tb.engine.Spawn("repair", func(p *sim.Proc) {
+		created = tb.cluster.ReReplicate(p)
+	})
+	tb.engine.Run()
+	if created != lost {
+		t.Fatalf("created %d replicas for %d under-replicated blocks", created, lost)
+	}
+	if got := len(tb.cluster.UnderReplicated()); got != 0 {
+		t.Fatalf("%d blocks still under-replicated after repair", got)
+	}
+	// Repair is idempotent.
+	tb.engine.Spawn("repair2", func(p *sim.Proc) {
+		if n := tb.cluster.ReReplicate(p); n != 0 {
+			t.Errorf("second repair created %d replicas", n)
+		}
+	})
+	tb.engine.Run()
+}
+
+func TestReReplicateUnrecoverableBlock(t *testing.T) {
+	tb := newTestbed(1, 1, 3, Config{BlockSize: 64e6, Replication: 2})
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		if _, err := tb.cluster.Write(p, tb.vms[1], "/d", 64e6, nil); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	tb.engine.Run()
+	for _, d := range tb.cluster.Datanodes() {
+		tb.cluster.Decommission(d)
+	}
+	tb.engine.Spawn("repair", func(p *sim.Proc) {
+		if n := tb.cluster.ReReplicate(p); n != 0 {
+			t.Errorf("repaired %d replicas with no live source", n)
+		}
+	})
+	tb.engine.Run()
+}

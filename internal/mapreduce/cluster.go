@@ -1,0 +1,419 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+
+	"vhadoop/internal/hdfs"
+	"vhadoop/internal/sim"
+	"vhadoop/internal/xen"
+)
+
+// errAttemptKilled unwinds a speculative attempt made redundant by the
+// winning one.
+var errAttemptKilled = errors.New("mapreduce: attempt superseded")
+
+// Config carries the engine parameters of the paper's Hadoop Module
+// (map.tasks.maximum, reduce.tasks.maximum and friends).
+type Config struct {
+	MapSlots    int // map.tasks.maximum per tasktracker
+	ReduceSlots int // reduce.tasks.maximum per tasktracker
+
+	HeartbeatInterval sim.Time // tasktracker heartbeat period
+	TrackerTimeout    sim.Time // declare a tracker dead after this silence
+	JobSetupTime      sim.Time // jobtracker-side job init/commit overhead
+
+	SortBufferBytes float64 // io.sort.mb: map output buffer before spilling
+	MaxSpillPasses  int     // extra merge passes cap
+
+	Speculative         bool
+	SpeculativeFraction float64 // maps completed before speculating
+	SpeculativeSlowdown float64 // task slower than this x mean is a straggler
+
+	MaxAttempts int // per-task execution attempts before the job fails
+
+	// FetchOverhead is the reducer-side fixed cost per map-output fetch
+	// (HTTP connection setup and the tasktracker's shuffle servlet). It is
+	// what makes many-map jobs over tiny data slower on bigger clusters.
+	FetchOverhead sim.Time
+
+	// DisableLocality turns off data-local scheduling and delay scheduling
+	// (an ablation: what locality-blind assignment costs).
+	DisableLocality bool
+
+	// TaskDirtyRate is the page-dirty rate a running task contributes to its
+	// VM (feeds the live-migration working-set model).
+	TaskDirtyRate float64
+
+	HeartbeatBytes float64
+}
+
+// DefaultConfig mirrors Hadoop 0.20.2 defaults scaled to the testbed.
+func DefaultConfig() Config {
+	return Config{
+		MapSlots:            2,
+		ReduceSlots:         1,
+		HeartbeatInterval:   3.0, // Hadoop 0.20's minimum heartbeat period
+		TrackerTimeout:      30,
+		JobSetupTime:        2.5,
+		SortBufferBytes:     100e6,
+		MaxSpillPasses:      2,
+		Speculative:         false,
+		SpeculativeFraction: 0.75,
+		SpeculativeSlowdown: 1.5,
+		MaxAttempts:         4,
+		FetchOverhead:       0.04,
+		TaskDirtyRate:       12e6, // I/O-bound tasks dirty buffers, not all of RAM
+		HeartbeatBytes:      256,
+	}
+}
+
+// Tracker is a tasktracker daemon on one worker VM.
+type Tracker struct {
+	VM *xen.VM
+
+	cluster    *Cluster
+	mapFree    int
+	reduceFree int
+	lastHB     sim.Time
+	dead       bool
+	running    map[*task]bool
+}
+
+// Alive reports whether the tracker is serving.
+func (tr *Tracker) Alive() bool {
+	return !tr.dead && tr.VM.State() != xen.StateCrashed && tr.VM.State() != xen.StateShutdown
+}
+
+// DecommissionTracker removes a tasktracker from service, re-queueing its
+// tasks (the cloud service's scale-in path).
+func (c *Cluster) DecommissionTracker(tr *Tracker) { c.declareDead(tr) }
+
+// Cluster is one Hadoop MapReduce instance: a jobtracker on the master VM
+// plus tasktrackers on worker VMs, sharing an HDFS instance.
+type Cluster struct {
+	engine   *sim.Engine
+	master   *xen.VM
+	dfs      *hdfs.Cluster
+	cfg      Config
+	trackers []*Tracker
+
+	pending []*task // cross-job FIFO of schedulable tasks
+	jobs    []*job
+	stopped bool
+
+	lastReduceAssign sim.Time // reduce ramp-up throttle (see assign)
+	reduceAssigned   bool
+}
+
+// NewCluster creates a MapReduce cluster with the jobtracker on master,
+// storing data in dfs. Call AddTracker for each worker, then Start.
+func NewCluster(e *sim.Engine, cfg Config, master *xen.VM, dfs *hdfs.Cluster) *Cluster {
+	if cfg.MapSlots < 1 || cfg.ReduceSlots < 0 {
+		panic("mapreduce: invalid slot configuration")
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 1
+	}
+	return &Cluster{engine: e, master: master, dfs: dfs, cfg: cfg}
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Reconfigure applies a new configuration to the running cluster — the
+// MapReduce Tuner's parameter lever. Slot-count changes propagate to the
+// tasktrackers' free-slot counters; everything else takes effect for
+// subsequently scheduled tasks.
+func (c *Cluster) Reconfigure(cfg Config) {
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 1
+	}
+	for _, tr := range c.trackers {
+		tr.mapFree += cfg.MapSlots - c.cfg.MapSlots
+		tr.reduceFree += cfg.ReduceSlots - c.cfg.ReduceSlots
+	}
+	c.cfg = cfg
+}
+
+// DFS returns the HDFS instance backing this cluster.
+func (c *Cluster) DFS() *hdfs.Cluster { return c.dfs }
+
+// Master returns the jobtracker VM.
+func (c *Cluster) Master() *xen.VM { return c.master }
+
+// Trackers returns all tasktrackers in registration order.
+func (c *Cluster) Trackers() []*Tracker { return c.trackers }
+
+// AddTracker registers a tasktracker on vm.
+func (c *Cluster) AddTracker(vm *xen.VM) *Tracker {
+	tr := &Tracker{
+		VM:         vm,
+		cluster:    c,
+		mapFree:    c.cfg.MapSlots,
+		reduceFree: c.cfg.ReduceSlots,
+		running:    make(map[*task]bool),
+	}
+	c.trackers = append(c.trackers, tr)
+	return tr
+}
+
+// Start launches the heartbeat daemons and the jobtracker's failure
+// detector. Call Stop when the experiment's driver is finished so the
+// simulation can drain.
+func (c *Cluster) Start() {
+	for _, tr := range c.trackers {
+		c.StartTracker(tr)
+	}
+	c.engine.Spawn("jt-monitor", func(p *sim.Proc) { c.monitorLoop(p) })
+}
+
+// StartTracker launches the heartbeat daemon for one tracker — used by
+// Start, and directly for trackers joining a running cluster (elastic
+// scale-out).
+func (c *Cluster) StartTracker(tr *Tracker) {
+	c.engine.Spawn("tt-heartbeat:"+tr.VM.Name, func(p *sim.Proc) {
+		c.heartbeatLoop(p, tr)
+	})
+}
+
+// Stop shuts down the daemons after their current sleep.
+func (c *Cluster) Stop() { c.stopped = true }
+
+// heartbeatLoop is the tasktracker main loop: report in, then pull work for
+// any free slots. A paused VM (live-migration stop-and-copy) stalls inside
+// Message, delaying the heartbeat exactly as the real daemon would.
+func (c *Cluster) heartbeatLoop(p *sim.Proc, tr *Tracker) {
+	for !c.stopped && tr.Alive() {
+		p.Sleep(c.cfg.HeartbeatInterval)
+		if c.stopped || !tr.Alive() {
+			return
+		}
+		tr.VM.Message(p, c.master, c.cfg.HeartbeatBytes)
+		tr.lastHB = p.Now()
+		c.assign(tr)
+	}
+}
+
+// monitorLoop is the jobtracker's failure detector: trackers silent past the
+// timeout (crashed VM, or a migration downtime long enough to miss many
+// heartbeats) are declared dead and their tasks re-executed elsewhere.
+func (c *Cluster) monitorLoop(p *sim.Proc) {
+	period := c.cfg.TrackerTimeout / 3
+	if period <= 0 {
+		period = 10
+	}
+	for !c.stopped {
+		p.Sleep(period)
+		for _, tr := range c.trackers {
+			if tr.dead {
+				continue
+			}
+			silent := p.Now()-tr.lastHB > c.cfg.TrackerTimeout
+			if silent || !tr.Alive() {
+				c.declareDead(tr)
+			}
+		}
+	}
+}
+
+// declareDead removes a tracker from service and re-queues its in-flight
+// tasks plus — for still-running jobs — its completed map tasks, whose
+// outputs lived on the dead VM's disk.
+func (c *Cluster) declareDead(tr *Tracker) {
+	if tr.dead {
+		return
+	}
+	tr.dead = true
+	c.engine.Tracef("jobtracker: tasktracker %s declared dead", tr.VM.Name)
+	for t := range tr.running {
+		delete(tr.running, t)
+		c.requeue(t)
+	}
+	for _, j := range c.jobs {
+		if j.finished() {
+			continue
+		}
+		for _, t := range j.maps {
+			if t.state == TaskDone && t.tracker == tr {
+				j.mapsDone--
+				c.requeue(t)
+			}
+		}
+	}
+}
+
+// requeue puts a task back in the pending queue for re-execution, failing
+// the job if the task is out of attempts.
+func (c *Cluster) requeue(t *task) {
+	if t.job.finished() {
+		return
+	}
+	if t.attempts >= c.cfg.MaxAttempts {
+		t.job.fail(fmt.Errorf("mapreduce: %s task %d of %s failed %d times",
+			t.kind, t.index, t.job.cfg.Name, t.attempts))
+		return
+	}
+	t.state = TaskPending
+	t.tracker = nil
+	t.parts = nil
+	t.partSizes = nil
+	t.skips = 1 // re-executions skip the locality delay
+	c.pending = append(c.pending, t)
+}
+
+// assign hands pending tasks to tr's free slots: data-local maps first, then
+// any map, then reduces.
+func (c *Cluster) assign(tr *Tracker) {
+	if !tr.Alive() {
+		return
+	}
+	for tr.mapFree > 0 {
+		t := c.pickMap(tr)
+		if t == nil {
+			break
+		}
+		c.launch(tr, t)
+	}
+	// Reduce ramp-up throttle: like Hadoop 0.20's JobQueueTaskScheduler,
+	// the jobtracker hands out at most one new reduce task per scheduling
+	// round (heartbeat interval), so jobs with many reduces pay roughly one
+	// heartbeat of ramp-up per reduce — the growth Figure 3(b) measures.
+	now := c.engine.Now()
+	if c.reduceAssigned && now-c.lastReduceAssign < c.cfg.HeartbeatInterval {
+		return
+	}
+	if tr.reduceFree > 0 {
+		if t := c.pickReduce(); t != nil {
+			c.launch(tr, t)
+			c.lastReduceAssign = now
+			c.reduceAssigned = true
+		}
+	}
+}
+
+// pickMap removes and returns the best pending map task for tr: one whose
+// input block has a replica on tr's VM if any. Non-local assignment uses
+// delay scheduling: a task must first be passed over once (giving its local
+// trackers a scheduling round to claim it) before anyone may run it remotely.
+func (c *Cluster) pickMap(tr *Tracker) *task {
+	fallback := -1
+	passed := false
+	for i, t := range c.pending {
+		if t.kind != MapTask || t.job.finished() {
+			continue
+		}
+		if c.cfg.DisableLocality {
+			return c.takePending(i)
+		}
+		if b := t.split.primary(); b != nil && c.dfs.IsLocal(b, tr.VM) {
+			return c.takePending(i)
+		}
+		if fallback < 0 && t.skips >= 1 {
+			fallback = i
+		}
+		passed = true
+	}
+	if fallback >= 0 {
+		return c.takePending(fallback)
+	}
+	if passed {
+		for _, t := range c.pending {
+			if t.kind == MapTask && !t.job.finished() {
+				t.skips++
+			}
+		}
+	}
+	return nil
+}
+
+// pickReduce removes and returns the oldest pending reduce task.
+func (c *Cluster) pickReduce() *task {
+	for i, t := range c.pending {
+		if t.kind == ReduceTask && !t.job.finished() {
+			return c.takePending(i)
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) takePending(i int) *task {
+	t := c.pending[i]
+	c.pending = append(c.pending[:i], c.pending[i+1:]...)
+	return t
+}
+
+// launch starts one attempt of t on tr and a watcher that routes the
+// attempt's outcome back to the scheduler.
+func (c *Cluster) launch(tr *Tracker, t *task) {
+	if t.kind == MapTask {
+		tr.mapFree--
+	} else {
+		tr.reduceFree--
+	}
+	tr.running[t] = true
+	t.state = TaskRunning
+	t.tracker = tr
+	t.attempts++
+	t.job.stats.Attempts++
+	t.startedAt = c.engine.Now()
+	attempt := c.engine.Spawn(fmt.Sprintf("%s:%s%d.%d", t.job.cfg.Name, t.kind, t.index, t.attempts),
+		func(p *sim.Proc) { c.runTask(p, tr, t) })
+	if t.attemptProcs == nil {
+		t.attemptProcs = make(map[*sim.Proc]bool)
+	}
+	t.attemptProcs[attempt] = true
+	c.engine.Spawn("watch:"+attempt.Name(), func(p *sim.Proc) {
+		attempt.Done().Wait(p)
+		delete(t.attemptProcs, attempt)
+		c.onTaskExit(tr, t, attempt.Err())
+	})
+}
+
+// onTaskExit releases the slot and either records completion or re-queues a
+// failed attempt.
+func (c *Cluster) onTaskExit(tr *Tracker, t *task, err error) {
+	if t.kind == MapTask {
+		tr.mapFree++
+	} else {
+		tr.reduceFree++
+	}
+	delete(tr.running, t)
+	if c.stopped || t.job.finished() {
+		return
+	}
+	if t.state == TaskDone && t.tracker != tr {
+		// A speculative duplicate finished after the primary; discard.
+		return
+	}
+	if err != nil {
+		if tr.dead || t.state == TaskDone {
+			return // declareDead requeued it, or a killed duplicate unwound
+		}
+		c.engine.Tracef("task %s%d of %s failed on %s: %v", t.kind, t.index, t.job.cfg.Name, tr.VM.Name, err)
+		c.requeue(t)
+		return
+	}
+	if t.state == TaskDone {
+		return // duplicate completion
+	}
+	t.state = TaskDone
+	t.tracker = tr
+	t.doneIn = c.engine.Now() - t.startedAt
+	// Kill redundant speculative attempts; their slots free as they unwind.
+	for proc := range t.attemptProcs {
+		proc.Abort(errAttemptKilled)
+	}
+	t.job.taskCompleted(t)
+}
+
+// speculate re-queues a duplicate attempt for the straggler task, if any.
+// Called from the job's speculation monitor.
+func (c *Cluster) speculate(t *task) {
+	if t.state != TaskRunning || t.speculated {
+		return
+	}
+	t.speculated = true
+	c.engine.Tracef("speculating %s%d of %s", t.kind, t.index, t.job.cfg.Name)
+	c.pending = append(c.pending, t)
+}

@@ -1,0 +1,401 @@
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"vhadoop/internal/hdfs"
+	"vhadoop/internal/sim"
+)
+
+// splitPart is one block's byte contribution to an input split.
+type splitPart struct {
+	block *hdfs.Block
+	bytes float64
+}
+
+// inputSplit is the unit of map-task input: by default exactly one HDFS
+// block, or an arbitrary byte range over consecutive blocks when the job
+// overrides NumMaps.
+type inputSplit struct {
+	size    float64
+	records []KV
+	parts   []splitPart
+}
+
+// primary returns the block contributing the most bytes: the locality
+// anchor for scheduling.
+func (s *inputSplit) primary() *hdfs.Block {
+	var best *hdfs.Block
+	bestBytes := -1.0
+	for _, part := range s.parts {
+		if part.bytes > bestBytes {
+			bestBytes = part.bytes
+			best = part.block
+		}
+	}
+	return best
+}
+
+// task is one map or reduce task (shared across its execution attempts).
+type task struct {
+	job   *job
+	kind  TaskKind
+	index int
+
+	split *inputSplit // map input split
+
+	state      TaskState
+	tracker    *Tracker
+	attempts   int
+	startedAt  sim.Time
+	doneIn     sim.Time // runtime of the successful attempt
+	speculated bool
+	skips      int // scheduling rounds passed over while awaiting locality
+
+	// attempts currently executing (primary plus speculative duplicates);
+	// the winner aborts the rest, as the jobtracker kills redundant
+	// attempts in Hadoop.
+	attemptProcs map[*sim.Proc]bool
+
+	// map output, one slice of records and one virtual size per reduce
+	// partition (or a single partition for map-only jobs).
+	parts     [][]KV
+	partSizes []float64
+
+	// per-attempt results folded into JobStats by the winning attempt
+	wasLocal bool
+	shuffled float64
+	spilled  float64
+	out      []KV
+	outBytes float64
+}
+
+// job is a submitted MapReduce job.
+type job struct {
+	cluster *Cluster
+	cfg     JobConfig
+
+	maps    []*task
+	reduces []*task
+
+	mapsDone    int
+	reducesDone int
+	mapDone     *sim.Done // rotating broadcast: fired on each map completion
+	done        *sim.Done
+	err         error
+	isDone      bool
+
+	stats   JobStats
+	outputs [][]KV // per-reduce (or per-map for map-only) real output records
+}
+
+func (j *job) finished() bool { return j.isDone }
+
+// fail completes the job with an error.
+func (j *job) fail(err error) {
+	if j.isDone {
+		return
+	}
+	j.err = err
+	j.isDone = true
+	j.done.Fire()
+	j.rotateMapSignal() // unblock any reducers so their procs can exit
+}
+
+func (j *job) rotateMapSignal() {
+	old := j.mapDone
+	j.mapDone = sim.NewDone(j.cluster.engine)
+	old.Fire()
+}
+
+// taskCompleted records a successful task and completes the job when its
+// last task finishes.
+func (j *job) taskCompleted(t *task) {
+	j.stats.SpillBytes += t.spilled
+	if t.kind == MapTask {
+		if t.wasLocal {
+			j.stats.LocalMaps++
+		}
+		j.mapsDone++
+		j.rotateMapSignal()
+		if len(j.reduces) == 0 {
+			j.outputs[t.index] = t.out
+			j.stats.OutputBytes += t.outBytes
+			j.stats.OutputRecords += len(t.out)
+			if j.mapsDone == len(j.maps) {
+				j.complete()
+			}
+		}
+		return
+	}
+	j.stats.ShuffledBytes += t.shuffled
+	j.outputs[t.index] = t.out
+	j.stats.OutputBytes += t.outBytes
+	j.stats.OutputRecords += len(t.out)
+	j.reducesDone++
+	if j.reducesDone == len(j.reduces) {
+		j.complete()
+	}
+}
+
+func (j *job) complete() {
+	if j.isDone {
+		return
+	}
+	j.isDone = true
+	j.stats.Finished = j.cluster.engine.Now()
+	j.stats.Runtime = j.stats.Finished - j.stats.Submitted
+	j.done.Fire()
+}
+
+// OutputRecords returns the job's real output records in partition order.
+func (j *job) outputRecords() []KV {
+	var out []KV
+	for _, part := range j.outputs {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// Handle tracks a submitted job.
+type Handle struct{ j *job }
+
+// Wait blocks p until the job completes and returns its stats.
+func (h *Handle) Wait(p *sim.Proc) (JobStats, error) {
+	h.j.done.Wait(p)
+	return h.j.stats, h.j.err
+}
+
+// Stats returns the job stats (final once Wait has returned).
+func (h *Handle) Stats() JobStats { return h.j.stats }
+
+// Progress reports completed and total map and reduce tasks.
+func (h *Handle) Progress() (mapsDone, maps, reducesDone, reduces int) {
+	return h.j.mapsDone, len(h.j.maps), h.j.reducesDone, len(h.j.reduces)
+}
+
+// Done reports whether the job has finished.
+func (h *Handle) Done() bool { return h.j.finished() }
+
+// OutputRecords returns the real output records (valid after completion).
+func (h *Handle) OutputRecords() []KV { return h.j.outputRecords() }
+
+// defaultPartition is Hadoop's hash partitioner.
+func defaultPartition(key string, numReduces int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numReduces))
+}
+
+// Submit registers a job with the jobtracker: the client RPCs the master,
+// the master charges job-setup time, input splits become map tasks (one per
+// HDFS block) and everything enters the pending queue. Tasks start flowing
+// at the next tasktracker heartbeats, as in Hadoop.
+func (c *Cluster) Submit(p *sim.Proc, cfg JobConfig) (*Handle, error) {
+	if cfg.NewMapper == nil {
+		return nil, fmt.Errorf("mapreduce: job %s has no mapper", cfg.Name)
+	}
+	if cfg.NumReduces > 0 && cfg.NewReducer == nil {
+		return nil, fmt.Errorf("mapreduce: job %s has %d reduces but no reducer", cfg.Name, cfg.NumReduces)
+	}
+	if cfg.Partition == nil {
+		cfg.Partition = defaultPartition
+	}
+	j := &job{
+		cluster: c,
+		cfg:     cfg,
+		mapDone: sim.NewDone(c.engine),
+		done:    sim.NewDone(c.engine),
+	}
+	j.stats.Name = cfg.Name
+	j.stats.Submitted = c.engine.Now()
+
+	// Resolve input blocks and cut them into map splits.
+	var blocks []*hdfs.Block
+	for _, name := range cfg.Input {
+		f, err := c.dfs.Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %s: %w", cfg.Name, err)
+		}
+		blocks = append(blocks, f.Blocks...)
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("mapreduce: job %s has no input blocks", cfg.Name)
+	}
+	for _, s := range makeSplits(blocks, cfg.NumMaps) {
+		j.maps = append(j.maps, &task{job: j, kind: MapTask, index: len(j.maps), split: s})
+	}
+	for r := 0; r < cfg.NumReduces; r++ {
+		j.reduces = append(j.reduces, &task{job: j, kind: ReduceTask, index: r})
+	}
+	j.stats.MapTasks = len(j.maps)
+	j.stats.ReduceTasks = len(j.reduces)
+	if cfg.NumReduces > 0 {
+		j.outputs = make([][]KV, cfg.NumReduces)
+	} else {
+		j.outputs = make([][]KV, len(j.maps))
+	}
+
+	// Client -> jobtracker RPC plus jobtracker-side setup (staging the job
+	// configuration and jar, initialising the task lists).
+	c.master.Message(p, c.master, 4096)
+	p.Sleep(c.cfg.JobSetupTime)
+
+	c.jobs = append(c.jobs, j)
+	for _, t := range j.maps {
+		c.pending = append(c.pending, t)
+	}
+	for _, t := range j.reduces {
+		c.pending = append(c.pending, t)
+	}
+	if c.cfg.Speculative {
+		c.engine.Spawn("speculator:"+cfg.Name, func(q *sim.Proc) { c.speculatorLoop(q, j) })
+	}
+	return &Handle{j: j}, nil
+}
+
+// Run submits cfg and blocks p until completion.
+func (c *Cluster) Run(p *sim.Proc, cfg JobConfig) (JobStats, error) {
+	h, err := c.Submit(p, cfg)
+	if err != nil {
+		return JobStats{}, err
+	}
+	return h.Wait(p)
+}
+
+// RunAndCollect is Run returning the job's real output records as well.
+func (c *Cluster) RunAndCollect(p *sim.Proc, cfg JobConfig) ([]KV, JobStats, error) {
+	h, err := c.Submit(p, cfg)
+	if err != nil {
+		return nil, JobStats{}, err
+	}
+	stats, err := h.Wait(p)
+	if err != nil {
+		return nil, stats, err
+	}
+	return h.OutputRecords(), stats, nil
+}
+
+// speculatorLoop watches a job for straggler map tasks and schedules
+// duplicate attempts once most maps have completed.
+func (c *Cluster) speculatorLoop(p *sim.Proc, j *job) {
+	for !c.stopped && !j.finished() {
+		p.Sleep(2 * c.cfg.HeartbeatInterval)
+		if j.finished() {
+			return
+		}
+		frac := float64(j.mapsDone) / float64(len(j.maps))
+		if frac < c.cfg.SpeculativeFraction || j.mapsDone == 0 {
+			continue
+		}
+		// Mean runtime of completed maps.
+		var mean sim.Time
+		n := 0
+		for _, t := range j.maps {
+			if t.state == TaskDone {
+				mean += t.doneIn
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		mean /= sim.Time(n)
+		for _, t := range j.maps {
+			if t.state == TaskRunning && !t.speculated &&
+				p.Now()-t.startedAt > c.cfg.SpeculativeSlowdown*mean {
+				c.speculate(t)
+			}
+		}
+	}
+}
+
+// makeSplits cuts blocks into map-task inputs: one split per block when
+// numMaps is 0, otherwise numMaps equal byte ranges over the concatenated
+// blocks, with records following their cumulative byte positions.
+func makeSplits(blocks []*hdfs.Block, numMaps int) []*inputSplit {
+	if numMaps <= 0 {
+		splits := make([]*inputSplit, len(blocks))
+		for i, b := range blocks {
+			splits[i] = &inputSplit{
+				size:    b.Size,
+				records: b.Records,
+				parts:   []splitPart{{block: b, bytes: b.Size}},
+			}
+		}
+		return splits
+	}
+	var total float64
+	var records []KV
+	for _, b := range blocks {
+		total += b.Size
+		records = append(records, b.Records...)
+	}
+	per := total / float64(numMaps)
+	splits := make([]*inputSplit, numMaps)
+	for i := range splits {
+		splits[i] = &inputSplit{size: per}
+	}
+	// Distribute block bytes across consecutive splits. The last split
+	// absorbs any floating-point residue so the loop always terminates.
+	splitIdx, room := 0, per
+	for _, b := range blocks {
+		remaining := b.Size
+		for remaining > 1e-9 {
+			take := remaining
+			if splitIdx < numMaps-1 && take > room {
+				take = room
+			}
+			s := splits[splitIdx]
+			s.parts = append(s.parts, splitPart{block: b, bytes: take})
+			remaining -= take
+			room -= take
+			if room <= 1e-9 && splitIdx < numMaps-1 {
+				splitIdx++
+				room = per
+			}
+		}
+	}
+	// Distribute records by cumulative byte position.
+	cum := 0.0
+	for _, r := range records {
+		idx := int(cum / per)
+		if idx >= numMaps {
+			idx = numMaps - 1
+		}
+		splits[idx].records = append(splits[idx].records, r)
+		cum += r.Size
+	}
+	return splits
+}
+
+// sortKVs orders records by key (stable, so equal keys keep arrival order —
+// deterministic under the simulation's fixed schedules).
+func sortKVs(kvs []KV) {
+	sort.SliceStable(kvs, func(a, b int) bool { return kvs[a].Key < kvs[b].Key })
+}
+
+// groupAndReduce sorts records, groups them by key and feeds each group to
+// red, collecting emissions.
+func groupAndReduce(kvs []KV, red Reducer) []KV {
+	sortKVs(kvs)
+	var out []KV
+	emit := func(key string, value any, size float64) {
+		out = append(out, KV{Key: key, Value: value, Size: size})
+	}
+	for i := 0; i < len(kvs); {
+		jEnd := i + 1
+		for jEnd < len(kvs) && kvs[jEnd].Key == kvs[i].Key {
+			jEnd++
+		}
+		values := make([]any, 0, jEnd-i)
+		for _, kv := range kvs[i:jEnd] {
+			values = append(values, kv.Value)
+		}
+		red.Reduce(kvs[i].Key, values, emit)
+		i = jEnd
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package mapreduce
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vhadoop/internal/hdfs"
+)
+
+func mkBlocks(sizes []float64, recsPerBlock int) []*hdfs.Block {
+	blocks := make([]*hdfs.Block, len(sizes))
+	id := 0
+	for i, sz := range sizes {
+		b := &hdfs.Block{ID: i + 1, Index: i, Size: sz}
+		for r := 0; r < recsPerBlock; r++ {
+			id++
+			b.Records = append(b.Records, hdfs.Record{
+				Key:  "r",
+				Size: sz / float64(recsPerBlock),
+			})
+		}
+		blocks[i] = b
+	}
+	return blocks
+}
+
+func TestMakeSplitsDefaultOnePerBlock(t *testing.T) {
+	blocks := mkBlocks([]float64{64e6, 64e6, 32e6}, 4)
+	splits := makeSplits(blocks, 0)
+	if len(splits) != 3 {
+		t.Fatalf("splits = %d, want 3", len(splits))
+	}
+	for i, s := range splits {
+		if s.size != blocks[i].Size {
+			t.Fatalf("split %d size %v != block size %v", i, s.size, blocks[i].Size)
+		}
+		if len(s.records) != 4 {
+			t.Fatalf("split %d records = %d", i, len(s.records))
+		}
+		if s.primary() != blocks[i] {
+			t.Fatalf("split %d primary mismatch", i)
+		}
+	}
+}
+
+func TestMakeSplitsOverrideTilesBytes(t *testing.T) {
+	blocks := mkBlocks([]float64{100e6, 100e6}, 10)
+	splits := makeSplits(blocks, 5)
+	if len(splits) != 5 {
+		t.Fatalf("splits = %d, want 5", len(splits))
+	}
+	var totalBytes float64
+	totalRecs := 0
+	for _, s := range splits {
+		var partBytes float64
+		for _, part := range s.parts {
+			partBytes += part.bytes
+		}
+		if math.Abs(partBytes-40e6) > 1 {
+			t.Fatalf("split covers %v bytes, want 40e6", partBytes)
+		}
+		totalBytes += partBytes
+		totalRecs += len(s.records)
+	}
+	if math.Abs(totalBytes-200e6) > 1 {
+		t.Fatalf("splits cover %v bytes", totalBytes)
+	}
+	if totalRecs != 20 {
+		t.Fatalf("splits carry %d records, want 20", totalRecs)
+	}
+}
+
+// Property: for any block sizes and any map count, splits tile the input
+// exactly and no record is lost or duplicated.
+func TestMakeSplitsConservationProperty(t *testing.T) {
+	prop := func(sizesRaw []uint16, numMapsRaw uint8) bool {
+		if len(sizesRaw) == 0 {
+			return true
+		}
+		if len(sizesRaw) > 12 {
+			sizesRaw = sizesRaw[:12]
+		}
+		sizes := make([]float64, len(sizesRaw))
+		var want float64
+		for i, s := range sizesRaw {
+			sizes[i] = float64(s%1000+1) * 1e5
+			want += sizes[i]
+		}
+		blocks := mkBlocks(sizes, 3)
+		numMaps := int(numMapsRaw % 20) // 0 = default
+		splits := makeSplits(blocks, numMaps)
+		var got float64
+		recs := 0
+		for _, s := range splits {
+			for _, part := range s.parts {
+				if part.bytes < 0 {
+					return false
+				}
+				got += part.bytes
+			}
+			recs += len(s.records)
+		}
+		return math.Abs(got-want) < 1 && recs == 3*len(blocks)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitPrimaryIsLargestContribution(t *testing.T) {
+	blocks := mkBlocks([]float64{10e6, 90e6}, 1)
+	splits := makeSplits(blocks, 1)
+	if len(splits) != 1 {
+		t.Fatalf("splits = %d", len(splits))
+	}
+	if splits[0].primary() != blocks[1] {
+		t.Fatal("primary should be the block contributing the most bytes")
+	}
+}

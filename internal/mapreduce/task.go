@@ -1,0 +1,240 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+
+	"vhadoop/internal/sim"
+	"vhadoop/internal/xen"
+)
+
+// runTask executes one attempt of t on tr's VM. Any failure (VM crash,
+// tracker death mid-I/O) unwinds this process via p.Fail; the watcher in
+// launch routes the outcome back to the scheduler.
+func (c *Cluster) runTask(p *sim.Proc, tr *Tracker, t *task) {
+	if t.job.finished() {
+		return
+	}
+	vm := tr.VM
+	// A running task dirties guest pages; the live-migration working-set
+	// model feeds on this.
+	vm.AddActivity(c.cfg.TaskDirtyRate)
+	defer vm.RemoveActivity(c.cfg.TaskDirtyRate)
+
+	// Task JVM launch and init.
+	vm.Exec(p, t.job.cfg.Cost.TaskSetupCPU)
+
+	if t.kind == MapTask {
+		c.runMap(p, tr, t)
+	} else {
+		c.runReduce(p, tr, t)
+	}
+	// Completion report to the jobtracker.
+	vm.Message(p, c.master, 512)
+}
+
+// spillPasses returns the number of extra merge passes needed when bytes
+// exceed the sort buffer.
+func (c *Cluster) spillPasses(bytes float64) int {
+	if c.cfg.SortBufferBytes <= 0 || bytes <= c.cfg.SortBufferBytes {
+		return 0
+	}
+	extra := int(math.Ceil(bytes/c.cfg.SortBufferBytes)) - 1
+	if extra > c.cfg.MaxSpillPasses {
+		extra = c.cfg.MaxSpillPasses
+	}
+	return extra
+}
+
+// runMap executes a map attempt: read the split (datanode-local when the
+// scheduler achieved locality), run the real mapper over the real records,
+// optionally combine, then sort and persist the partitioned output to the
+// VM's disk, spilling in extra passes if it outgrows the sort buffer.
+func (c *Cluster) runMap(p *sim.Proc, tr *Tracker, t *task) {
+	vm := tr.VM
+	job := t.job
+	cost := job.cfg.Cost
+
+	// Side inputs (distributed cluster state) are read by every map task.
+	for _, name := range job.cfg.SideInput {
+		f, err := c.dfs.Lookup(name)
+		if err != nil {
+			p.Fail(fmt.Errorf("map %d of %s: side input: %w", t.index, job.cfg.Name, err))
+		}
+		for _, b := range f.Blocks {
+			if err := c.dfs.ReadBlock(p, vm, b); err != nil {
+				p.Fail(fmt.Errorf("map %d of %s: side input: %w", t.index, job.cfg.Name, err))
+			}
+		}
+	}
+
+	if primary := t.split.primary(); primary != nil {
+		t.wasLocal = c.dfs.IsLocal(primary, vm)
+	}
+	for _, part := range t.split.parts {
+		if err := c.dfs.ReadRange(p, vm, part.block, part.bytes); err != nil {
+			p.Fail(fmt.Errorf("map %d of %s: %w", t.index, job.cfg.Name, err))
+		}
+	}
+
+	nParts := job.cfg.NumReduces
+	if nParts == 0 {
+		nParts = 1
+	}
+	parts := make([][]KV, nParts)
+	sizes := make([]float64, nParts)
+	emit := func(key string, value any, size float64) {
+		idx := 0
+		if job.cfg.NumReduces > 0 {
+			idx = job.cfg.Partition(key, job.cfg.NumReduces)
+		}
+		parts[idx] = append(parts[idx], KV{Key: key, Value: value, Size: size})
+		sizes[idx] += size
+	}
+
+	mapper := job.cfg.NewMapper()
+	for _, rec := range t.split.records {
+		mapper.Map(rec.Key, rec.Value, emit)
+	}
+	if cm, ok := mapper.(ClosingMapper); ok {
+		cm.Close(emit)
+	}
+	vm.Exec(p, cost.MapCPUPerByte*t.split.size+cost.MapCPUPerRecord*float64(len(t.split.records)))
+
+	// Map-side combine shrinks each partition before it hits disk.
+	if job.cfg.NewCombiner != nil && job.cfg.NumReduces > 0 {
+		var combined int
+		for i := range parts {
+			combined += len(parts[i])
+			parts[i] = groupAndReduce(parts[i], job.cfg.NewCombiner())
+			sizes[i] = 0
+			for _, kv := range parts[i] {
+				sizes[i] += kv.Size
+			}
+		}
+		vm.Exec(p, cost.CombineCPUPerRecord*float64(combined))
+	}
+
+	var outBytes float64
+	for _, s := range sizes {
+		outBytes += s
+	}
+
+	if job.cfg.NumReduces == 0 {
+		// Map-only job: commit output straight to HDFS.
+		t.out = parts[0]
+		t.outBytes = outBytes
+		if job.cfg.Output != "" && outBytes > 0 {
+			name := fmt.Sprintf("%s/part-m-%05d.%d", job.cfg.Output, t.index, t.attempts)
+			if _, err := c.dfs.Write(p, vm, name, outBytes, parts[0]); err != nil {
+				p.Fail(fmt.Errorf("map %d of %s: %w", t.index, job.cfg.Name, err))
+			}
+		}
+		return
+	}
+
+	// Sort and persist the map output locally; extra merge passes when the
+	// buffer overflows.
+	vm.Exec(p, cost.SortCPUPerByte*outBytes)
+	vm.WriteDisk(p, outBytes)
+	for i := 0; i < c.spillPasses(outBytes); i++ {
+		vm.ReadDisk(p, outBytes)
+		vm.WriteDisk(p, outBytes)
+		t.spilled += 2 * outBytes
+	}
+	t.parts = parts
+	t.partSizes = sizes
+}
+
+// runReduce executes a reduce attempt: fetch this partition from every
+// completed map as completions arrive (the shuffle), merge/sort, run the
+// real reducer over grouped keys and write the output to HDFS through a
+// replication pipeline.
+func (c *Cluster) runReduce(p *sim.Proc, tr *Tracker, t *task) {
+	vm := tr.VM
+	job := t.job
+	cost := job.cfg.Cost
+
+	fetched := make([]bool, len(job.maps))
+	var kvs []KV
+	var totalBytes float64
+	n := 0
+	for n < len(job.maps) {
+		if job.finished() {
+			return
+		}
+		signal := job.mapDone // capture before scanning to avoid lost wakeups
+		progress := false
+		for i, mt := range job.maps {
+			if fetched[i] || mt.state != TaskDone {
+				continue
+			}
+			src := mt.tracker
+			if src == nil || !src.Alive() {
+				continue
+			}
+			recs := mt.parts[t.index]
+			bytes := mt.partSizes[t.index]
+			c.fetchMapOutput(p, src.VM, vm, bytes)
+			kvs = append(kvs, recs...)
+			totalBytes += bytes
+			fetched[i] = true
+			n++
+			progress = true
+		}
+		if n >= len(job.maps) {
+			break
+		}
+		if !progress {
+			signal.Wait(p)
+		}
+	}
+	t.shuffled = totalBytes
+
+	// Merge phase: on-disk merge passes if the fetched data outgrew the
+	// buffer, then the sort itself.
+	for i := 0; i < c.spillPasses(totalBytes); i++ {
+		vm.WriteDisk(p, totalBytes)
+		vm.ReadDisk(p, totalBytes)
+		t.spilled += 2 * totalBytes
+	}
+	vm.Exec(p, cost.SortCPUPerByte*totalBytes)
+
+	out := groupAndReduce(kvs, job.cfg.NewReducer())
+	vm.Exec(p, cost.ReduceCPUPerByte*totalBytes+cost.ReduceCPUPerRecord*float64(len(kvs)))
+
+	var outBytes float64
+	for _, kv := range out {
+		outBytes += kv.Size
+	}
+	t.out = out
+	t.outBytes = outBytes
+	if job.cfg.Output != "" && outBytes > 0 {
+		name := fmt.Sprintf("%s/part-r-%05d.%d", job.cfg.Output, t.index, t.attempts)
+		if _, err := c.dfs.Write(p, vm, name, outBytes, out); err != nil {
+			p.Fail(fmt.Errorf("reduce %d of %s: %w", t.index, job.cfg.Name, err))
+		}
+	}
+}
+
+// fetchMapOutput moves one map-output partition from src to dst: a fetch
+// RPC, then the source disk read streaming into the network transfer.
+func (c *Cluster) fetchMapOutput(p *sim.Proc, src, dst *xen.VM, bytes float64) {
+	dst.Message(p, src, 128)
+	if c.cfg.FetchOverhead > 0 {
+		p.Sleep(c.cfg.FetchOverhead)
+	}
+	if bytes <= 0 {
+		return
+	}
+	if src == dst {
+		dst.ReadDisk(p, bytes)
+		return
+	}
+	e := p.Engine()
+	reader := e.Spawn("shuffle-disk", func(q *sim.Proc) { src.ReadDisk(q, bytes) })
+	sender := e.Spawn("shuffle-net", func(q *sim.Proc) { src.SendTo(q, dst, bytes) })
+	if err := sim.WaitProcs(p, reader, sender); err != nil {
+		p.Fail(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package phys models the physical testbed of the vHadoop paper: Dell T710
+// servers (2× quad-core Xeon E5620 with hyper-threading, 32 GB DRAM, local
+// SATA disk, 1 Gb/s NIC) joined by a gigabit switch, plus a separate NFS
+// filer. Each machine contributes a CPU pool (a fair-share resource driven
+// by the Xen credit scheduler in internal/xen), a local disk, a virtual
+// bridge link for intra-machine VM traffic and NIC transmit/receive links
+// for cross-machine traffic.
+package phys
+
+import (
+	"fmt"
+
+	"vhadoop/internal/sim"
+	"vhadoop/internal/vnet"
+)
+
+// MachineSpec describes one physical machine's hardware.
+type MachineSpec struct {
+	Cores     int     // schedulable CPUs (hyper-threads count)
+	DRAMBytes float64 // physical memory
+	DiskBW    float64 // local disk bandwidth, bytes/s
+	NICBW     float64 // NIC line rate each direction, bytes/s
+	NICLat    sim.Time
+	BridgeBW  float64 // intra-machine virtual bridge bandwidth, bytes/s
+	BridgeLat sim.Time
+	// NICDuplexFactor caps combined tx+rx throughput as a multiple of the
+	// line rate: Xen-era dom0 netback processing could not sustain full
+	// duplex gigabit (Cherkasova & Gardner, USENIX '05). 0 defaults to 1.0
+	// (roughly line rate for tx+rx combined through the bridge/netback).
+	NICDuplexFactor float64
+	// MemBW is the rate at which dom0 serves page-cache hits (bytes/s).
+	// 0 defaults to 8 GB/s (DDR3 multi-channel).
+	MemBW float64
+	// CacheBytes is the dom0 NFS-client page cache capacity. 0 defaults to
+	// half of DRAM (the rest is reserved for guests).
+	CacheBytes float64
+	// StorNICBW is the storage/management NIC line rate (bytes/s). The
+	// testbed's servers have multiple GbE ports: guest traffic is bridged
+	// over one, while dom0's NFS client and live migration use another.
+	// 0 defaults to NICBW.
+	StorNICBW  float64
+	StorNICLat sim.Time
+}
+
+// Machine is one physical server.
+type Machine struct {
+	Name string
+	Spec MachineSpec
+
+	CPU  *sim.FairShare // capacity = Cores, per-job cap = 1 core
+	Disk *sim.FairShare // local disk, bytes/s
+
+	Bridge  *vnet.Link // intra-machine VM-to-VM segment
+	NICTx   *vnet.Link // machine -> switch
+	NICRx   *vnet.Link // switch -> machine
+	NICProc *vnet.Link // shared netback processing: combined tx+rx cap
+	StorTx  *vnet.Link // storage/management NIC: machine -> switch
+	StorRx  *vnet.Link // storage/management NIC: switch -> machine
+
+	MemBus *sim.FairShare // dom0 page-cache service rate
+	Cache  *PageCache     // dom0 NFS-client page cache
+
+	memInUse float64 // bytes of DRAM committed to VMs
+}
+
+// PageCache is the dom0 NFS-client page cache: recently written or read
+// file data is served from host memory instead of the filer, with FIFO
+// eviction. This is what makes a freshly-written HDFS data set fast to
+// re-read on the same physical machine — and what a cross-domain cluster
+// loses whenever a replica lives on the other machine.
+type PageCache struct {
+	capacity float64
+	used     float64
+	entries  map[string]float64
+	order    []string
+
+	hits, misses int
+}
+
+// NewPageCache returns an empty cache of the given capacity.
+func NewPageCache(capacity float64) *PageCache {
+	return &PageCache{capacity: capacity, entries: make(map[string]float64)}
+}
+
+// Contains reports (and records) whether key is cached.
+func (c *PageCache) Contains(key string) bool {
+	_, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return ok
+}
+
+// Insert adds key with the given size, evicting oldest entries to fit.
+// Entries larger than the whole cache are not cached.
+func (c *PageCache) Insert(key string, bytes float64) {
+	if bytes > c.capacity {
+		return
+	}
+	if old, ok := c.entries[key]; ok {
+		c.used -= old
+		c.remove(key)
+	}
+	for c.used+bytes > c.capacity && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		c.used -= c.entries[victim]
+		delete(c.entries, victim)
+	}
+	c.entries[key] = bytes
+	c.order = append(c.order, key)
+	c.used += bytes
+}
+
+func (c *PageCache) remove(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	delete(c.entries, key)
+}
+
+// Used returns the cached byte volume.
+func (c *PageCache) Used() float64 { return c.used }
+
+// HitRate returns the fraction of lookups that hit.
+func (c *PageCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// MemFree returns uncommitted DRAM in bytes.
+func (m *Machine) MemFree() float64 { return m.Spec.DRAMBytes - m.memInUse }
+
+// ReserveMem commits bytes of DRAM to a VM, failing if it does not fit.
+func (m *Machine) ReserveMem(bytes float64) error {
+	if bytes > m.MemFree() {
+		return fmt.Errorf("phys: %s: cannot reserve %.0f bytes, %.0f free", m.Name, bytes, m.MemFree())
+	}
+	m.memInUse += bytes
+	return nil
+}
+
+// ReleaseMem returns bytes of DRAM to the free pool.
+func (m *Machine) ReleaseMem(bytes float64) {
+	m.memInUse -= bytes
+	if m.memInUse < 0 {
+		panic("phys: memory over-released on " + m.Name)
+	}
+}
+
+func (m *Machine) String() string { return m.Name }
+
+// Topology is the set of machines plus the switch joining them.
+type Topology struct {
+	engine   *sim.Engine
+	fabric   *vnet.Fabric
+	machines []*Machine
+	backbone *vnet.Link // switch backplane (not normally the bottleneck)
+}
+
+// NewTopology creates an empty topology with a switch backplane of the given
+// aggregate bandwidth.
+func NewTopology(e *sim.Engine, fabric *vnet.Fabric, backboneBW float64, backboneLat sim.Time) *Topology {
+	return &Topology{
+		engine:   e,
+		fabric:   fabric,
+		backbone: fabric.NewLink("switch", backboneBW, backboneLat),
+	}
+}
+
+// Engine returns the simulation engine.
+func (t *Topology) Engine() *sim.Engine { return t.engine }
+
+// Fabric returns the network fabric.
+func (t *Topology) Fabric() *vnet.Fabric { return t.fabric }
+
+// Backbone returns the switch backplane link.
+func (t *Topology) Backbone() *vnet.Link { return t.backbone }
+
+// AddMachine creates a machine with the given spec and attaches it to the
+// switch.
+func (t *Topology) AddMachine(name string, spec MachineSpec) *Machine {
+	duplex := spec.NICDuplexFactor
+	if duplex <= 0 {
+		duplex = 1.0
+	}
+	memBW := spec.MemBW
+	if memBW <= 0 {
+		memBW = 8e9
+	}
+	cacheBytes := spec.CacheBytes
+	if cacheBytes <= 0 {
+		cacheBytes = spec.DRAMBytes / 2
+	}
+	storBW := spec.StorNICBW
+	if storBW <= 0 {
+		storBW = spec.NICBW
+	}
+	storLat := spec.StorNICLat
+	if storLat <= 0 {
+		storLat = spec.NICLat
+	}
+	m := &Machine{
+		Name:    name,
+		Spec:    spec,
+		CPU:     sim.NewFairShare(t.engine, name+".cpu", float64(spec.Cores), 1),
+		Disk:    sim.NewFairShare(t.engine, name+".disk", spec.DiskBW, 0),
+		Bridge:  t.fabric.NewLink(name+".bridge", spec.BridgeBW, spec.BridgeLat),
+		NICTx:   t.fabric.NewLink(name+".tx", spec.NICBW, spec.NICLat),
+		NICRx:   t.fabric.NewLink(name+".rx", spec.NICBW, spec.NICLat),
+		NICProc: t.fabric.NewLink(name+".nicproc", spec.NICBW*duplex, 0),
+		StorTx:  t.fabric.NewLink(name+".stor.tx", storBW, storLat),
+		StorRx:  t.fabric.NewLink(name+".stor.rx", storBW, storLat),
+		MemBus:  sim.NewFairShare(t.engine, name+".membus", memBW, 0),
+		Cache:   NewPageCache(cacheBytes),
+	}
+	t.machines = append(t.machines, m)
+	return m
+}
+
+// Machines returns all machines in creation order.
+func (t *Topology) Machines() []*Machine { return t.machines }
+
+// Path returns the link path for traffic from src to dst. Intra-machine
+// traffic crosses only the virtual bridge; cross-machine traffic crosses the
+// source bridge, the source NIC, the switch, the destination NIC and the
+// destination bridge.
+func (t *Topology) Path(src, dst *Machine) []*vnet.Link {
+	if src == dst {
+		return []*vnet.Link{src.Bridge}
+	}
+	return []*vnet.Link{
+		src.Bridge, src.NICTx, src.NICProc, t.backbone,
+		dst.NICProc, dst.NICRx, dst.Bridge,
+	}
+}
+
+// HostPath returns the path for dom0-level traffic — the NFS client moving
+// VM disk blocks, image fetches and live migration — which rides the
+// dedicated storage/management NIC, not the guest bridge: a VM reaches its
+// own dom0 through a hypercall, and dom0 kernel TCP needs no netback
+// processing.
+func (t *Topology) HostPath(src, dst *Machine) []*vnet.Link {
+	if src == dst {
+		return nil
+	}
+	return []*vnet.Link{src.StorTx, t.backbone, dst.StorRx}
+}

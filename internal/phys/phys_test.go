@@ -1,0 +1,125 @@
+package phys
+
+import (
+	"testing"
+
+	"vhadoop/internal/sim"
+	"vhadoop/internal/vnet"
+)
+
+func testSpec() MachineSpec {
+	return MachineSpec{
+		Cores:     8,
+		DRAMBytes: 32e9,
+		DiskBW:    100e6,
+		NICBW:     125e6,
+		NICLat:    0.0001,
+		BridgeBW:  500e6,
+		BridgeLat: 0.00002,
+	}
+}
+
+func newTestTopo(t *testing.T, n int) (*sim.Engine, *Topology) {
+	t.Helper()
+	e := sim.New(1)
+	f := vnet.NewFabric(e)
+	topo := NewTopology(e, f, 10e9, 0.00001)
+	for i := 0; i < n; i++ {
+		topo.AddMachine(string(rune('A'+i)), testSpec())
+	}
+	return e, topo
+}
+
+func TestMemoryReservation(t *testing.T) {
+	_, topo := newTestTopo(t, 1)
+	m := topo.Machines()[0]
+	if err := m.ReserveMem(30e9); err != nil {
+		t.Fatalf("reserve 30GB on 32GB machine: %v", err)
+	}
+	if err := m.ReserveMem(4e9); err == nil {
+		t.Fatal("over-reservation succeeded")
+	}
+	m.ReleaseMem(30e9)
+	if got := m.MemFree(); got != 32e9 {
+		t.Fatalf("free = %v after release", got)
+	}
+}
+
+func TestMemoryOverReleasePanics(t *testing.T) {
+	_, topo := newTestTopo(t, 1)
+	m := topo.Machines()[0]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	m.ReleaseMem(1)
+}
+
+func TestIntraMachinePathIsBridgeOnly(t *testing.T) {
+	_, topo := newTestTopo(t, 2)
+	a := topo.Machines()[0]
+	path := topo.Path(a, a)
+	if len(path) != 1 || path[0] != a.Bridge {
+		t.Fatalf("intra-machine path = %v, want just the bridge", path)
+	}
+}
+
+func TestCrossMachinePathCrossesNICsAndSwitch(t *testing.T) {
+	_, topo := newTestTopo(t, 2)
+	a, b := topo.Machines()[0], topo.Machines()[1]
+	path := topo.Path(a, b)
+	want := []*vnet.Link{a.Bridge, a.NICTx, a.NICProc, topo.Backbone(), b.NICProc, b.NICRx, b.Bridge}
+	if len(path) != len(want) {
+		t.Fatalf("path has %d hops, want %d", len(path), len(want))
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("hop %d = %s, want %s", i, path[i].Name(), want[i].Name())
+		}
+	}
+}
+
+func TestHostPathUsesStorageNICs(t *testing.T) {
+	_, topo := newTestTopo(t, 2)
+	a, b := topo.Machines()[0], topo.Machines()[1]
+	// dom0-to-dom0 (NFS, migration): storage NICs plus the switch, no
+	// bridges and no netback processing.
+	path := topo.HostPath(a, b)
+	want := []*vnet.Link{a.StorTx, topo.Backbone(), b.StorRx}
+	if len(path) != len(want) {
+		t.Fatalf("dom0 path has %d hops, want %d", len(path), len(want))
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("hop %d = %s, want %s", i, path[i].Name(), want[i].Name())
+		}
+	}
+	// Host-to-host same machine: free.
+	if p := topo.HostPath(a, a); p != nil {
+		t.Fatalf("same-machine dom0 path = %v, want nil", p)
+	}
+}
+
+func TestCrossMachineTransferSlowerThanIntra(t *testing.T) {
+	e, topo := newTestTopo(t, 2)
+	a, b := topo.Machines()[0], topo.Machines()[1]
+	var intra, cross sim.Time
+	e.Spawn("intra", func(p *sim.Proc) {
+		start := p.Now()
+		topo.Fabric().Transfer(p, "i", topo.Path(a, a), 500e6)
+		intra = p.Now() - start
+	})
+	e.Run()
+	e2 := topo.Engine()
+	_ = e2
+	e.Spawn("cross", func(p *sim.Proc) {
+		start := p.Now()
+		topo.Fabric().Transfer(p, "c", topo.Path(a, b), 500e6)
+		cross = p.Now() - start
+	})
+	e.Run()
+	if cross <= intra {
+		t.Fatalf("cross-machine transfer (%.3fs) not slower than intra (%.3fs)", cross, intra)
+	}
+}

@@ -1,0 +1,330 @@
+// Package recommend completes the vHadoop Machine Learning Algorithm
+// Library's third category (§II-B: "clustering, classification,
+// recommendations") with Mahout 0.6's item-based collaborative filtering
+// pipeline: a MapReduce job that builds per-user preference vectors, a
+// co-occurrence job that counts how often item pairs appear in the same
+// user's history, and a recommendation job that scores unseen items for
+// every user from the co-occurrence matrix.
+//
+// The in-memory reference implementation and the MapReduce pipeline share
+// their arithmetic and must produce identical recommendations.
+package recommend
+
+import (
+	"fmt"
+	"sort"
+
+	"vhadoop/internal/core"
+	"vhadoop/internal/hdfs"
+	"vhadoop/internal/mapreduce"
+	"vhadoop/internal/sim"
+)
+
+// Pref is one (user, item) preference event (boolean preferences, as in
+// Mahout's RecommenderJob with --booleanData).
+type Pref struct {
+	User string
+	Item string
+}
+
+// Rec is one scored recommendation.
+type Rec struct {
+	Item  string
+	Score float64
+}
+
+// userItems groups preferences by user with deterministic ordering.
+func userItems(prefs []Pref) map[string][]string {
+	byUser := make(map[string]map[string]bool)
+	for _, p := range prefs {
+		if byUser[p.User] == nil {
+			byUser[p.User] = make(map[string]bool)
+		}
+		byUser[p.User][p.Item] = true
+	}
+	out := make(map[string][]string, len(byUser))
+	for u, items := range byUser {
+		list := make([]string, 0, len(items))
+		for it := range items {
+			list = append(list, it)
+		}
+		sort.Strings(list)
+		out[u] = list
+	}
+	return out
+}
+
+// coOccurrence counts item pairs sharing a user.
+func coOccurrence(byUser map[string][]string) map[string]map[string]float64 {
+	co := make(map[string]map[string]float64)
+	add := func(a, b string) {
+		if co[a] == nil {
+			co[a] = make(map[string]float64)
+		}
+		co[a][b]++
+	}
+	users := make([]string, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		items := byUser[u]
+		for i := 0; i < len(items); i++ {
+			for j := i + 1; j < len(items); j++ {
+				add(items[i], items[j])
+				add(items[j], items[i])
+			}
+		}
+	}
+	return co
+}
+
+// recommendFrom scores unseen items for one user from the co-occurrence
+// matrix, returning the topN (score desc, item asc for determinism).
+func recommendFrom(co map[string]map[string]float64, seen []string, topN int) []Rec {
+	seenSet := make(map[string]bool, len(seen))
+	for _, it := range seen {
+		seenSet[it] = true
+	}
+	scores := make(map[string]float64)
+	for _, it := range seen {
+		for other, n := range co[it] {
+			if !seenSet[other] {
+				scores[other] += n
+			}
+		}
+	}
+	out := make([]Rec, 0, len(scores))
+	for it, s := range scores {
+		out = append(out, Rec{Item: it, Score: s})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Item < out[b].Item
+	})
+	if len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// Recommend is the in-memory reference pipeline: co-occurrence over all
+// preferences, then topN recommendations per user.
+func Recommend(prefs []Pref, topN int) (map[string][]Rec, error) {
+	if len(prefs) == 0 {
+		return nil, fmt.Errorf("recommend: no preferences")
+	}
+	byUser := userItems(prefs)
+	co := coOccurrence(byUser)
+	out := make(map[string][]Rec, len(byUser))
+	for u, items := range byUser {
+		out[u] = recommendFrom(co, items, topN)
+	}
+	return out, nil
+}
+
+// Job runs the pipeline as MapReduce jobs on a vHadoop platform.
+type Job struct {
+	pl    *core.Platform
+	input string
+	TopN  int
+	// BytesPerPref is the virtual size of one serialized preference.
+	BytesPerPref float64
+	Cost         mapreduce.CostModel
+}
+
+// NewJob prepares a recommender over the given HDFS input path.
+func NewJob(pl *core.Platform, input string) *Job {
+	return &Job{
+		pl:           pl,
+		input:        input,
+		TopN:         10,
+		BytesPerPref: 64,
+		Cost: mapreduce.CostModel{
+			MapCPUPerRecord:    2e-5,
+			ReduceCPUPerRecord: 2e-5,
+			SortCPUPerByte:     5e-9,
+			TaskSetupCPU:       1.5,
+		},
+	}
+}
+
+// Load uploads the preference log to HDFS.
+func (j *Job) Load(p *sim.Proc, prefs []Pref) error {
+	recs := make([]hdfs.Record, len(prefs))
+	for i, pr := range prefs {
+		recs[i] = hdfs.Record{Key: pr.User, Value: pr, Size: j.BytesPerPref}
+	}
+	size := j.BytesPerPref * float64(len(prefs))
+	_, err := j.pl.DFS.Write(p, j.pl.Master, j.input, size, recs)
+	return err
+}
+
+// RunMR executes the three-stage pipeline:
+//
+//  1. toUserVectors: group preferences by user.
+//  2. coOccurrence: per user, emit all item pairs; reduce to counts.
+//  3. recommend: per user, score unseen items against the matrix (shipped
+//     to mappers as a side input, Mahout's partial-multiply shortcut).
+//
+// It returns per-user recommendations plus the stats of each stage.
+func (j *Job) RunMR(p *sim.Proc) (map[string][]Rec, []mapreduce.JobStats, error) {
+	var allStats []mapreduce.JobStats
+
+	// Stage 1: user vectors.
+	userVecs, stats, err := j.pl.MR.RunAndCollect(p, mapreduce.JobConfig{
+		Name:       "recsys-uservectors",
+		Input:      []string{j.input},
+		NumReduces: 4,
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(_ string, value any, emit mapreduce.Emit) {
+				pr := value.(Pref)
+				emit(pr.User, pr.Item, float64(len(pr.Item))+16)
+			})
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFunc(func(user string, values []any, emit mapreduce.Emit) {
+				set := make(map[string]bool, len(values))
+				for _, v := range values {
+					set[v.(string)] = true
+				}
+				items := make([]string, 0, len(set))
+				for it := range set {
+					items = append(items, it)
+				}
+				sort.Strings(items)
+				emit(user, items, float64(16*len(items)))
+			})
+		},
+		Cost: j.Cost,
+	})
+	if err != nil {
+		return nil, allStats, fmt.Errorf("recommend: user vectors: %w", err)
+	}
+	allStats = append(allStats, stats)
+	byUser := make(map[string][]string, len(userVecs))
+	for _, kv := range userVecs {
+		byUser[kv.Key] = kv.Value.([]string)
+	}
+
+	// Stage 1.5: persist the user vectors (each later stage reads them).
+	vecFile := j.input + ".uservectors"
+	vecRecs := make([]hdfs.Record, 0, len(byUser))
+	users := make([]string, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	var vecBytes float64
+	for _, u := range users {
+		sz := float64(16*len(byUser[u])) + 16
+		vecRecs = append(vecRecs, hdfs.Record{Key: u, Value: byUser[u], Size: sz})
+		vecBytes += sz
+	}
+	if _, err := j.pl.DFS.Write(p, j.pl.Master, vecFile, vecBytes, vecRecs); err != nil {
+		return nil, allStats, err
+	}
+
+	// Stage 2: co-occurrence counts.
+	coOut, stats, err := j.pl.MR.RunAndCollect(p, mapreduce.JobConfig{
+		Name:       "recsys-cooccurrence",
+		Input:      []string{vecFile},
+		NumReduces: 4,
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(_ string, value any, emit mapreduce.Emit) {
+				items := value.([]string)
+				for i := 0; i < len(items); i++ {
+					for k := i + 1; k < len(items); k++ {
+						emit(items[i]+"\x00"+items[k], 1.0, 40)
+						emit(items[k]+"\x00"+items[i], 1.0, 40)
+					}
+				}
+			})
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFunc(func(pair string, values []any, emit mapreduce.Emit) {
+				var sum float64
+				for _, v := range values {
+					sum += v.(float64)
+				}
+				emit(pair, sum, 24)
+			})
+		},
+		Cost: j.Cost,
+	})
+	if err != nil {
+		return nil, allStats, fmt.Errorf("recommend: co-occurrence: %w", err)
+	}
+	allStats = append(allStats, stats)
+	co := make(map[string]map[string]float64)
+	for _, kv := range coOut {
+		var a, b string
+		for i := 0; i < len(kv.Key); i++ {
+			if kv.Key[i] == 0 {
+				a, b = kv.Key[:i], kv.Key[i+1:]
+				break
+			}
+		}
+		if co[a] == nil {
+			co[a] = make(map[string]float64)
+		}
+		co[a][b] = kv.Value.(float64)
+	}
+
+	// Stage 2.5: persist the co-occurrence matrix for the recommend stage.
+	matFile := j.input + ".cooccurrence"
+	matBytes := float64(len(coOut))*40 + 1024
+	if _, err := j.pl.DFS.Write(p, j.pl.Master, matFile, matBytes, nil); err != nil {
+		return nil, allStats, err
+	}
+
+	// Stage 3: recommendations (map-only over user vectors, matrix as side
+	// input).
+	topN := j.TopN
+	recOut, stats, err := j.pl.MR.RunAndCollect(p, mapreduce.JobConfig{
+		Name:      "recsys-recommend",
+		Input:     []string{vecFile},
+		SideInput: []string{matFile},
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(user string, value any, emit mapreduce.Emit) {
+				recs := recommendFrom(co, value.([]string), topN)
+				emit(user, recs, float64(24*len(recs)))
+			})
+		},
+		Cost: j.Cost,
+	})
+	if err != nil {
+		return nil, allStats, fmt.Errorf("recommend: recommend stage: %w", err)
+	}
+	allStats = append(allStats, stats)
+	out := make(map[string][]Rec, len(recOut))
+	for _, kv := range recOut {
+		out[kv.Key] = kv.Value.([]Rec)
+	}
+	return out, allStats, nil
+}
+
+// SyntheticPrefs builds a preference log with planted taste groups: users
+// belong to a group and mostly consume its items, so recommendations should
+// surface unseen same-group items.
+func SyntheticPrefs(seed int64, groups, usersPerGroup, itemsPerGroup, prefsPerUser int) []Pref {
+	rng := sim.New(seed).Rand()
+	var prefs []Pref
+	for g := 0; g < groups; g++ {
+		for u := 0; u < usersPerGroup; u++ {
+			user := fmt.Sprintf("u%02d-%03d", g, u)
+			for k := 0; k < prefsPerUser; k++ {
+				grp := g
+				if rng.Float64() < 0.1 { // a little cross-group noise
+					grp = rng.Intn(groups)
+				}
+				item := fmt.Sprintf("i%02d-%03d", grp, rng.Intn(itemsPerGroup))
+				prefs = append(prefs, Pref{User: user, Item: item})
+			}
+		}
+	}
+	return prefs
+}

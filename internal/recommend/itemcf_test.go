@@ -1,0 +1,123 @@
+package recommend
+
+import (
+	"strings"
+	"testing"
+
+	"vhadoop/internal/core"
+	"vhadoop/internal/sim"
+)
+
+func TestReferenceRecommendsSameGroupItems(t *testing.T) {
+	prefs := SyntheticPrefs(5, 3, 20, 40, 15)
+	recs, err := Recommend(prefs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 60 {
+		t.Fatalf("users with recommendations = %d, want 60", len(recs))
+	}
+	// Most of a user's recommendations should come from their own group.
+	sameGroup, total := 0, 0
+	for user, rs := range recs {
+		group := user[1:3]
+		for _, r := range rs {
+			total++
+			if strings.HasPrefix(r.Item, "i"+group+"-") {
+				sameGroup++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no recommendations at all")
+	}
+	if frac := float64(sameGroup) / float64(total); frac < 0.8 {
+		t.Fatalf("same-group fraction = %v", frac)
+	}
+}
+
+func TestRecommendationsExcludeSeenAndAreSorted(t *testing.T) {
+	prefs := SyntheticPrefs(5, 2, 10, 20, 12)
+	byUser := userItems(prefs)
+	recs, err := Recommend(prefs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for user, rs := range recs {
+		seen := make(map[string]bool)
+		for _, it := range byUser[user] {
+			seen[it] = true
+		}
+		for i, r := range rs {
+			if seen[r.Item] {
+				t.Fatalf("user %s recommended already-seen item %s", user, r.Item)
+			}
+			if i > 0 && rs[i-1].Score < r.Score {
+				t.Fatalf("user %s recommendations not sorted by score", user)
+			}
+		}
+	}
+}
+
+func TestCoOccurrenceSymmetric(t *testing.T) {
+	prefs := []Pref{
+		{User: "a", Item: "x"}, {User: "a", Item: "y"},
+		{User: "b", Item: "x"}, {User: "b", Item: "y"}, {User: "b", Item: "z"},
+	}
+	co := coOccurrence(userItems(prefs))
+	if co["x"]["y"] != 2 || co["y"]["x"] != 2 {
+		t.Fatalf("x/y co-occurrence = %v / %v, want 2/2", co["x"]["y"], co["y"]["x"])
+	}
+	if co["x"]["z"] != 1 || co["z"]["x"] != 1 {
+		t.Fatalf("x/z co-occurrence = %v / %v, want 1/1", co["x"]["z"], co["z"]["x"])
+	}
+}
+
+func TestEmptyPrefsRejected(t *testing.T) {
+	if _, err := Recommend(nil, 5); err == nil {
+		t.Fatal("empty preference log accepted")
+	}
+}
+
+func TestMRPipelineMatchesReference(t *testing.T) {
+	prefs := SyntheticPrefs(5, 3, 12, 25, 10)
+	opts := core.DefaultOptions()
+	opts.Nodes = 8
+	pl := core.MustNewPlatform(opts)
+	job := NewJob(pl, "/recsys/prefs")
+	var mr map[string][]Rec
+	var stats int
+	_, err := pl.Run(func(p *sim.Proc) error {
+		if err := job.Load(p, prefs); err != nil {
+			return err
+		}
+		out, st, err := job.RunMR(p)
+		mr = out
+		stats = len(st)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != 3 {
+		t.Fatalf("pipeline stages = %d, want 3", stats)
+	}
+	ref, err := Recommend(prefs, job.TopN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr) != len(ref) {
+		t.Fatalf("users: mr=%d ref=%d", len(mr), len(ref))
+	}
+	for user, want := range ref {
+		got := mr[user]
+		if len(got) != len(want) {
+			t.Fatalf("user %s: %d recs, want %d", user, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("user %s rec %d: got %+v want %+v", user, i, got[i], want[i])
+			}
+		}
+	}
+}

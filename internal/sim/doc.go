@@ -1,0 +1,28 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// that underlies every performance experiment in this repository.
+//
+// The engine advances a virtual clock (float64 seconds) through a priority
+// queue of events. Simulated activities are written as ordinary imperative Go
+// functions running in "processes": goroutines that hand control back and
+// forth with the engine so that exactly one goroutine is runnable at any
+// time. This keeps user code readable (a MapReduce task is a straight-line
+// function that sleeps, acquires resources and waits on signals) while the
+// whole simulation stays deterministic and reproducible from a seed.
+//
+// Building blocks:
+//
+//   - Engine: the clock, the event heap and the run loop.
+//   - Proc: a simulated process; created with Engine.Spawn.
+//   - Done: a one-shot completion latch processes can wait on.
+//   - Gate: an open/closed barrier (used e.g. to pause virtual machines
+//     during the stop-and-copy phase of live migration).
+//   - Queue: a counting semaphore with FIFO wakeup (task slots, bounded
+//     buffers).
+//   - FairShare: a processor-sharing resource (CPU pools, disks); N jobs in
+//     service each progress at capacity/N, optionally capped per job. This is
+//     the building block for the Xen credit scheduler and for disk contention.
+//
+// All times are in seconds, all data volumes in bytes, all rates in bytes or
+// work-units per second, matching the conventions used across internal/vnet,
+// internal/xen and internal/mapreduce.
+package sim

@@ -1,0 +1,215 @@
+package sim
+
+import "fmt"
+
+// FairShare is a processor-sharing resource: every job in service progresses
+// simultaneously, each at a weighted fair fraction of the total capacity,
+// optionally capped at a per-job maximum rate. It models CPU pools under the
+// Xen credit scheduler (capacity = #cores, per-job cap = 1 core), disks and
+// any other rate-shared device.
+type FairShare struct {
+	engine    *Engine
+	name      string
+	capacity  float64 // total work units per second
+	perJobCap float64 // per-job max rate; 0 means uncapped
+
+	jobs       map[*fsJob]struct{}
+	lastUpdate Time
+	timer      *Timer
+
+	busyInt     float64 // integral of allocated rate (for utilisation)
+	servedTotal float64 // total work completed
+	createdAt   Time
+}
+
+type fsJob struct {
+	remaining float64
+	weight    float64
+	rate      float64
+	done      *Done
+}
+
+// NewFairShare returns a processor-sharing resource with the given total
+// capacity (work units per second) and per-job rate cap (0 = uncapped).
+func NewFairShare(e *Engine, name string, capacity, perJobCap float64) *FairShare {
+	if capacity <= 0 {
+		panic("sim: fair-share capacity must be positive")
+	}
+	return &FairShare{
+		engine:     e,
+		name:       name,
+		capacity:   capacity,
+		perJobCap:  perJobCap,
+		jobs:       make(map[*fsJob]struct{}),
+		lastUpdate: e.now,
+		createdAt:  e.now,
+	}
+}
+
+// Name returns the resource name.
+func (f *FairShare) Name() string { return f.name }
+
+// Capacity returns the total service rate.
+func (f *FairShare) Capacity() float64 { return f.capacity }
+
+// Load returns the number of jobs currently in service.
+func (f *FairShare) Load() int { return len(f.jobs) }
+
+// Utilization returns the instantaneous fraction of capacity in use.
+func (f *FairShare) Utilization() float64 {
+	total := 0.0
+	for j := range f.jobs {
+		total += j.rate
+	}
+	return total / f.capacity
+}
+
+// MeanUtilization returns the time-averaged utilisation since creation.
+func (f *FairShare) MeanUtilization() float64 {
+	f.advance()
+	dt := f.engine.now - f.createdAt
+	if dt <= 0 {
+		return 0
+	}
+	return f.busyInt / (f.capacity * dt)
+}
+
+// Served returns the total work completed so far.
+func (f *FairShare) Served() float64 {
+	f.advance()
+	return f.servedTotal
+}
+
+// Use blocks p until `work` units have been serviced at fair-share rates.
+func (f *FairShare) Use(p *Proc, work float64) { f.UseWeighted(p, work, 1) }
+
+// UseWeighted is Use with a scheduling weight (a job with weight 2 receives
+// twice the rate of a weight-1 job when the resource is contended).
+func (f *FairShare) UseWeighted(p *Proc, work, weight float64) {
+	if work <= 0 {
+		return
+	}
+	done := f.Submit(work, weight)
+	done.Wait(p)
+}
+
+// Submit enqueues work asynchronously and returns a latch that fires on
+// completion. It may be called from engine context or a process.
+func (f *FairShare) Submit(work, weight float64) *Done {
+	if work <= 0 {
+		d := NewDone(f.engine)
+		d.Fire()
+		return d
+	}
+	if weight <= 0 {
+		panic(fmt.Sprintf("sim: fair-share %q: non-positive weight", f.name))
+	}
+	f.advance()
+	j := &fsJob{remaining: work, weight: weight, done: NewDone(f.engine)}
+	f.jobs[j] = struct{}{}
+	f.reschedule()
+	return j.done
+}
+
+// advance integrates job progress from lastUpdate to now.
+func (f *FairShare) advance() {
+	dt := f.engine.now - f.lastUpdate
+	if dt <= 0 {
+		f.lastUpdate = f.engine.now
+		return
+	}
+	for j := range f.jobs {
+		served := j.rate * dt
+		if served > j.remaining {
+			served = j.remaining
+		}
+		j.remaining -= served
+		f.busyInt += j.rate * dt
+		f.servedTotal += served
+	}
+	f.lastUpdate = f.engine.now
+}
+
+// recomputeRates assigns per-job rates by weighted fair sharing with an
+// optional per-job cap, using water-filling so that capped jobs return their
+// surplus to the rest.
+func (f *FairShare) recomputeRates() {
+	if len(f.jobs) == 0 {
+		return
+	}
+	residual := f.capacity
+	active := make([]*fsJob, 0, len(f.jobs))
+	for j := range f.jobs {
+		active = append(active, j)
+	}
+	for len(active) > 0 {
+		var wsum float64
+		for _, j := range active {
+			wsum += j.weight
+		}
+		capped := false
+		next := active[:0]
+		for _, j := range active {
+			share := residual * j.weight / wsum
+			if f.perJobCap > 0 && share >= f.perJobCap {
+				j.rate = f.perJobCap
+				residual -= f.perJobCap
+				capped = true
+			} else {
+				j.rate = share
+				next = append(next, j)
+			}
+		}
+		active = next
+		if !capped {
+			break
+		}
+	}
+}
+
+// fsEps retires jobs with a negligible work residue; fsMinTick guarantees
+// the clock advances between completion events, so floating-point undershoot
+// in rate*dt cannot pin the simulation at a constant virtual time.
+const (
+	fsEps     = 1e-9
+	fsMinTick = 1e-9
+)
+
+// reschedule recomputes rates and (re)arms the next-completion timer.
+func (f *FairShare) reschedule() {
+	if f.timer != nil {
+		f.timer.Cancel()
+		f.timer = nil
+	}
+	// Retire finished jobs first (including any that would complete within
+	// one minimum tick at their current rate).
+	for j := range f.jobs {
+		if j.remaining <= fsEps || j.remaining <= j.rate*fsMinTick {
+			delete(f.jobs, j)
+			j.done.Fire()
+		}
+	}
+	if len(f.jobs) == 0 {
+		return
+	}
+	f.recomputeRates()
+	minT := Forever
+	for j := range f.jobs {
+		if j.rate <= 0 {
+			continue
+		}
+		if t := j.remaining / j.rate; t < minT {
+			minT = t
+		}
+	}
+	if minT >= Forever {
+		panic(fmt.Sprintf("sim: fair-share %q stalled with %d jobs", f.name, len(f.jobs)))
+	}
+	if minT < fsMinTick {
+		minT = fsMinTick
+	}
+	f.timer = f.engine.After(minT, func() {
+		f.advance()
+		f.reschedule()
+	})
+}

@@ -1,0 +1,136 @@
+package sim
+
+// Queue is a counting semaphore with strict FIFO wakeup. It models bounded
+// pools: task slots on a tasktracker, RPC handler threads, and so on.
+type Queue struct {
+	engine    *Engine
+	capacity  int
+	available int
+	waiters   []*qWaiter
+
+	// occupancy statistics for the monitor
+	lastChange Time
+	busyInt    float64 // integral of (capacity-available) dt
+}
+
+type qWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewQueue returns a queue with the given capacity, all of it available.
+func NewQueue(e *Engine, capacity int) *Queue {
+	if capacity <= 0 {
+		panic("sim: queue capacity must be positive")
+	}
+	return &Queue{engine: e, capacity: capacity, available: capacity, lastChange: e.now}
+}
+
+// Capacity returns the total number of units.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// Available returns the number of currently free units.
+func (q *Queue) Available() int { return q.available }
+
+// InUse returns the number of currently held units.
+func (q *Queue) InUse() int { return q.capacity - q.available }
+
+func (q *Queue) account() {
+	q.busyInt += float64(q.InUse()) * (q.engine.now - q.lastChange)
+	q.lastChange = q.engine.now
+}
+
+// MeanOccupancy returns the time-averaged number of units in use since the
+// queue was created.
+func (q *Queue) MeanOccupancy() float64 {
+	q.account()
+	if q.engine.now == 0 {
+		return 0
+	}
+	return q.busyInt / q.engine.now
+}
+
+// Acquire blocks p until n units are available, then takes them. Grants are
+// strictly FIFO: a large request at the head of the line blocks later small
+// requests (no starvation). If p is aborted or killed while waiting, its
+// queue entry (or an already-applied grant) is returned before unwinding.
+func (q *Queue) Acquire(p *Proc, n int) {
+	if n <= 0 || n > q.capacity {
+		panic("sim: invalid acquire count")
+	}
+	if len(q.waiters) == 0 && q.available >= n {
+		q.account()
+		q.available -= n
+		return
+	}
+	q.waiters = append(q.waiters, &qWaiter{p: p, n: n})
+	defer func() {
+		if r := recover(); r != nil {
+			if q.granted(p) {
+				q.Release(n) // grant landed just as we unwound
+			} else {
+				q.removeWaiter(p)
+			}
+			panic(r)
+		}
+	}()
+	for {
+		p.block()
+		// We are woken by Release when our grant is ready; the grant was
+		// already applied, so just return.
+		if q.granted(p) {
+			return
+		}
+	}
+}
+
+// removeWaiter drops p's pending entry (abort-path cleanup).
+func (q *Queue) removeWaiter(p *Proc) {
+	for i, w := range q.waiters {
+		if w.p == p {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// granted reports whether p's waiter entry has been consumed.
+func (q *Queue) granted(p *Proc) bool {
+	for _, w := range q.waiters {
+		if w.p == p {
+			return false
+		}
+	}
+	return true
+}
+
+// TryAcquire takes n units without blocking, reporting success.
+func (q *Queue) TryAcquire(n int) bool {
+	if n <= 0 || n > q.capacity {
+		panic("sim: invalid acquire count")
+	}
+	if len(q.waiters) == 0 && q.available >= n {
+		q.account()
+		q.available -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and hands them to queued waiters in FIFO order.
+func (q *Queue) Release(n int) {
+	if n <= 0 {
+		panic("sim: invalid release count")
+	}
+	q.account()
+	q.available += n
+	if q.available > q.capacity {
+		panic("sim: queue over-released")
+	}
+	for len(q.waiters) > 0 && q.available >= q.waiters[0].n {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.available -= w.n
+		w.p.scheduleAt(q.engine.now)
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import "testing"
+
+func TestQueueBasicAcquireRelease(t *testing.T) {
+	e := New(1)
+	q := NewQueue(e, 2)
+	var order []string
+	worker := func(name string, hold Time) {
+		e.Spawn(name, func(p *Proc) {
+			q.Acquire(p, 1)
+			order = append(order, name+"+")
+			p.Sleep(hold)
+			q.Release(1)
+			order = append(order, name+"-")
+		})
+	}
+	worker("a", 2)
+	worker("b", 2)
+	worker("c", 2) // must wait for a slot
+	e.Run()
+	if q.Available() != 2 {
+		t.Fatalf("available = %d after all released", q.Available())
+	}
+	// At t=2, a's wake event precedes b's, and c's grant event (created by
+	// a's release) lands after b's pre-existing wake event.
+	want := []string{"a+", "b+", "a-", "b-", "c+", "c-"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestQueueFIFONoStarvation(t *testing.T) {
+	e := New(1)
+	q := NewQueue(e, 4)
+	var got []string
+	e.Spawn("hog", func(p *Proc) {
+		q.Acquire(p, 4)
+		got = append(got, "hog")
+		p.Sleep(1)
+		q.Release(4)
+	})
+	e.Spawn("big", func(p *Proc) {
+		p.Sleep(0.1) // arrive second
+		q.Acquire(p, 3)
+		got = append(got, "big")
+		q.Release(3)
+	})
+	e.Spawn("small", func(p *Proc) {
+		p.Sleep(0.2) // arrive third; must NOT jump ahead of big
+		q.Acquire(p, 1)
+		got = append(got, "small")
+		q.Release(1)
+	})
+	e.Run()
+	want := []string{"hog", "big", "small"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v (FIFO violated)", got, want)
+		}
+	}
+}
+
+func TestQueueTryAcquire(t *testing.T) {
+	e := New(1)
+	q := NewQueue(e, 1)
+	if !q.TryAcquire(1) {
+		t.Fatal("first TryAcquire failed")
+	}
+	if q.TryAcquire(1) {
+		t.Fatal("second TryAcquire succeeded on a full queue")
+	}
+	q.Release(1)
+	if !q.TryAcquire(1) {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestQueueOverReleasePanics(t *testing.T) {
+	e := New(1)
+	q := NewQueue(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	q.Release(1)
+}
+
+func TestQueueMeanOccupancy(t *testing.T) {
+	e := New(1)
+	q := NewQueue(e, 2)
+	e.Spawn("w", func(p *Proc) {
+		q.Acquire(p, 2)
+		p.Sleep(5)
+		q.Release(2)
+		p.Sleep(5)
+	})
+	e.Run()
+	// 2 units held for 5s out of 10s => mean occupancy 1.0.
+	almost(t, q.MeanOccupancy(), 1.0, 1e-9, "mean occupancy")
+}

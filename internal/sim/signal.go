@@ -1,0 +1,123 @@
+package sim
+
+// Done is a one-shot completion latch. Processes that Wait on it block until
+// Fire is called; waits after the latch has fired return immediately.
+type Done struct {
+	engine  *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewDone returns an unfired latch bound to e.
+func NewDone(e *Engine) *Done { return &Done{engine: e} }
+
+// Fired reports whether the latch has fired.
+func (d *Done) Fired() bool { return d.fired }
+
+// Fire releases all current and future waiters. Firing twice is a no-op.
+// Fire may be called from engine context or from a process.
+func (d *Done) Fire() { d.fire() }
+
+func (d *Done) fire() {
+	if d.fired {
+		return
+	}
+	d.fired = true
+	for _, p := range d.waiters {
+		p.scheduleAt(d.engine.now)
+	}
+	d.waiters = nil
+}
+
+// Wait blocks p until the latch fires.
+func (d *Done) Wait(p *Proc) {
+	if d.fired {
+		return
+	}
+	d.waiters = append(d.waiters, p)
+	p.block()
+}
+
+// WaitAll blocks p until every latch has fired.
+func WaitAll(p *Proc, ds ...*Done) {
+	for _, d := range ds {
+		d.Wait(p)
+	}
+}
+
+// WaitProcs blocks p until every listed process has terminated, and returns
+// the first non-nil error recorded by any of them (in argument order).
+func WaitProcs(p *Proc, procs ...*Proc) error {
+	var err error
+	for _, q := range procs {
+		q.Done().Wait(p)
+		if err == nil && q.Err() != nil {
+			err = q.Err()
+		}
+	}
+	return err
+}
+
+// Gate is a reusable open/closed barrier. While open, WaitOpen returns
+// immediately; while closed, waiters block until the next Open. Gates model
+// pausable components, e.g. a VM's VCPU during stop-and-copy.
+type Gate struct {
+	engine  *Engine
+	open    bool
+	waiters []*Proc
+
+	closedAt   Time // when the gate last closed (valid while closed)
+	totalClose Time // cumulative closed duration
+}
+
+// NewGate returns a gate in the given initial state.
+func NewGate(e *Engine, open bool) *Gate {
+	g := &Gate{engine: e, open: open}
+	if !open {
+		g.closedAt = e.now
+	}
+	return g
+}
+
+// IsOpen reports whether the gate is open.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Open releases all waiters. No-op if already open.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	g.totalClose += g.engine.now - g.closedAt
+	for _, p := range g.waiters {
+		p.scheduleAt(g.engine.now)
+	}
+	g.waiters = nil
+}
+
+// Close makes subsequent WaitOpen calls block. No-op if already closed.
+func (g *Gate) Close() {
+	if !g.open {
+		return
+	}
+	g.open = false
+	g.closedAt = g.engine.now
+}
+
+// TotalClosed returns the cumulative virtual time the gate has spent closed.
+func (g *Gate) TotalClosed() Time {
+	t := g.totalClose
+	if !g.open {
+		t += g.engine.now - g.closedAt
+	}
+	return t
+}
+
+// WaitOpen blocks p until the gate is open. If the gate closes and reopens
+// while p is queued, p still wakes at the first Open after its Wait.
+func (g *Gate) WaitOpen(p *Proc) {
+	for !g.open {
+		g.waiters = append(g.waiters, p)
+		p.block()
+	}
+}

@@ -1,0 +1,121 @@
+package tuner
+
+import (
+	"testing"
+
+	"vhadoop/internal/mapreduce"
+	"vhadoop/internal/nmon"
+)
+
+func baseMetrics() Metrics {
+	return Metrics{
+		Report: nmon.Report{
+			Bottleneck: nmon.Bottleneck{Resource: "vm-cpu", Kind: "cpu", MeanUtil: 0.5},
+			VMs:        []nmon.VMSummary{{VM: "vm01", MeanCPU: 0.5}},
+		},
+		MRConfig: mapreduce.DefaultConfig(),
+	}
+}
+
+func hasAction(recs []Recommendation, a Action) bool {
+	for _, r := range recs {
+		if r.Action == a {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNoRecommendationsWhenHealthy(t *testing.T) {
+	recs := New().Evaluate(baseMetrics())
+	if len(recs) != 0 {
+		t.Fatalf("healthy cluster produced recommendations: %v", recs)
+	}
+}
+
+func TestConsolidateCrossDomainNetworkBound(t *testing.T) {
+	m := baseMetrics()
+	m.CrossDomain = true
+	m.Report.Bottleneck = nmon.Bottleneck{Resource: "pm1.tx", Kind: "network", MeanUtil: 0.95}
+	recs := New().Evaluate(m)
+	if !hasAction(recs, ActionConsolidate) {
+		t.Fatalf("no consolidation recommended: %v", recs)
+	}
+	// Same saturation on a packed cluster: migration cannot help.
+	m.CrossDomain = false
+	recs = New().Evaluate(m)
+	if hasAction(recs, ActionConsolidate) {
+		t.Fatalf("consolidation recommended for a normal-layout cluster: %v", recs)
+	}
+}
+
+func TestSpillTriggersSortBuffer(t *testing.T) {
+	m := baseMetrics()
+	m.RecentJobs = []mapreduce.JobStats{{ShuffledBytes: 100e6, SpillBytes: 60e6, MapTasks: 4, ReduceTasks: 1, Attempts: 5}}
+	recs := New().Evaluate(m)
+	if !hasAction(recs, ActionIncreaseSortBuf) {
+		t.Fatalf("no sort-buffer recommendation: %v", recs)
+	}
+	cfg := Apply(m.MRConfig, recs)
+	if cfg.SortBufferBytes != m.MRConfig.SortBufferBytes*2 {
+		t.Fatalf("sort buffer not doubled: %v", cfg.SortBufferBytes)
+	}
+}
+
+func TestHotCPUDecreasesSlots(t *testing.T) {
+	m := baseMetrics()
+	m.Report.VMs = []nmon.VMSummary{{VM: "vm01", MeanCPU: 0.97}}
+	recs := New().Evaluate(m)
+	if !hasAction(recs, ActionDecreaseSlots) {
+		t.Fatalf("no slot decrease: %v", recs)
+	}
+	cfg := Apply(m.MRConfig, recs)
+	if cfg.MapSlots != m.MRConfig.MapSlots-1 {
+		t.Fatalf("slots not decreased: %d", cfg.MapSlots)
+	}
+}
+
+func TestColdCPUIncreasesSlots(t *testing.T) {
+	m := baseMetrics()
+	m.Report.VMs = []nmon.VMSummary{{VM: "vm01", MeanCPU: 0.15}}
+	m.Report.Bottleneck = nmon.Bottleneck{Resource: "vm-cpu", Kind: "cpu", MeanUtil: 0.15}
+	recs := New().Evaluate(m)
+	if !hasAction(recs, ActionIncreaseSlots) {
+		t.Fatalf("no slot increase: %v", recs)
+	}
+}
+
+func TestStragglersEnableSpeculation(t *testing.T) {
+	m := baseMetrics()
+	m.RecentJobs = []mapreduce.JobStats{{MapTasks: 10, ReduceTasks: 2, Attempts: 15}}
+	recs := New().Evaluate(m)
+	if !hasAction(recs, ActionEnableSpec) {
+		t.Fatalf("no speculation recommendation: %v", recs)
+	}
+	cfg := Apply(m.MRConfig, recs)
+	if !cfg.Speculative {
+		t.Fatal("speculation not applied")
+	}
+	// Already speculative: no recommendation.
+	m.MRConfig.Speculative = true
+	if recs := New().Evaluate(m); hasAction(recs, ActionEnableSpec) {
+		t.Fatal("speculation recommended twice")
+	}
+}
+
+func TestDiskBoundRecommendsLargerBlocks(t *testing.T) {
+	m := baseMetrics()
+	m.Report.Bottleneck = nmon.Bottleneck{Resource: "filer.disk", Kind: "disk", MeanUtil: 0.92}
+	recs := New().Evaluate(m)
+	if !hasAction(recs, ActionLargerBlocks) {
+		t.Fatalf("no block-size recommendation: %v", recs)
+	}
+}
+
+func TestApplyIgnoresMigrationActions(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	out := Apply(cfg, []Recommendation{{Action: ActionConsolidate}})
+	if out.MapSlots != cfg.MapSlots || out.SortBufferBytes != cfg.SortBufferBytes {
+		t.Fatal("consolidation changed the MR config")
+	}
+}

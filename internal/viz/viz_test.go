@@ -1,0 +1,87 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"vhadoop/internal/clustering"
+)
+
+func sampleResult() ([]clustering.Vector, clustering.Result) {
+	points := []clustering.Vector{{0, 0}, {1, 1}, {10, 10}, {11, 11}}
+	return points, clustering.Result{
+		Algorithm: "kmeans",
+		History: [][]clustering.Vector{
+			{{2, 2}, {8, 8}},
+			{{0.5, 0.5}, {10.5, 10.5}},
+		},
+		Centers: []clustering.Vector{{0.5, 0.5}, {10.5, 10.5}},
+	}
+}
+
+func TestRenderProducesWellFormedSVG(t *testing.T) {
+	points, res := sampleResult()
+	svg := RenderClusters(points, res, DefaultOptions("k-means"))
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatalf("not an svg: %.60s", svg)
+	}
+	// Well-formed XML?
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("svg is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestRenderContainsPointsAndIterations(t *testing.T) {
+	points, res := sampleResult()
+	svg := RenderClusters(points, res, DefaultOptions("k-means"))
+	if got := strings.Count(svg, `fill-opacity="0.5"`); got != len(points) {
+		t.Fatalf("rendered %d sample points, want %d", got, len(points))
+	}
+	// Final iteration in bold red, previous in orange.
+	if !strings.Contains(svg, "#d62728") {
+		t.Fatal("final iteration not drawn in red")
+	}
+	if !strings.Contains(svg, "#ff7f0e") {
+		t.Fatal("previous iteration not drawn in orange")
+	}
+}
+
+func TestOldIterationsGrey(t *testing.T) {
+	points, _ := sampleResult()
+	res := clustering.Result{History: make([][]clustering.Vector, 10)}
+	for i := range res.History {
+		res.History[i] = []clustering.Vector{{float64(i), float64(i)}}
+	}
+	svg := RenderClusters(points, res, DefaultOptions(""))
+	if !strings.Contains(svg, historyColor) {
+		t.Fatal("iterations older than the colour ramp not greyed out")
+	}
+}
+
+func TestTitleEscaped(t *testing.T) {
+	points, res := sampleResult()
+	svg := RenderClusters(points, res, DefaultOptions(`fuzzy <k> & "m"`))
+	if strings.Contains(svg, "<k>") {
+		t.Fatal("title not XML-escaped")
+	}
+	if !strings.Contains(svg, "&lt;k&gt;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestHighDimensionalProjection(t *testing.T) {
+	points := []clustering.Vector{{0, 0, 5, 5}, {1, 1, 9, 9}}
+	res := clustering.Result{History: [][]clustering.Vector{{{0.5, 0.5, 7, 7}}}}
+	svg := RenderClusters(points, res, DefaultOptions("60-dim"))
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("nothing rendered for high-dimensional data")
+	}
+}

@@ -1,0 +1,195 @@
+package vnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vhadoop/internal/sim"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (±%v)", msg, got, want, tol)
+	}
+}
+
+func TestSingleFlowFullBandwidth(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	l := f.NewLink("nic", 100e6, 0)
+	var done sim.Time
+	e.Spawn("x", func(p *sim.Proc) {
+		f.Transfer(p, "t", []*Link{l}, 500e6)
+		done = p.Now()
+	})
+	e.Run()
+	almost(t, done, 5, 1e-9, "500 MB over 100 MB/s")
+}
+
+func TestLatencyAddsToCompletion(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	a := f.NewLink("a", 100e6, 0.001)
+	b := f.NewLink("b", 100e6, 0.002)
+	var done sim.Time
+	e.Spawn("x", func(p *sim.Proc) {
+		f.Transfer(p, "t", []*Link{a, b}, 100e6)
+		done = p.Now()
+	})
+	e.Run()
+	almost(t, done, 1.003, 1e-9, "transfer plus path latency")
+}
+
+func TestTwoFlowsShareBottleneck(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	l := f.NewLink("nic", 100e6, 0)
+	var d1, d2 sim.Time
+	e.Spawn("a", func(p *sim.Proc) { f.Transfer(p, "a", []*Link{l}, 100e6); d1 = p.Now() })
+	e.Spawn("b", func(p *sim.Proc) { f.Transfer(p, "b", []*Link{l}, 100e6); d2 = p.Now() })
+	e.Run()
+	almost(t, d1, 2, 1e-9, "flow a at half rate")
+	almost(t, d2, 2, 1e-9, "flow b at half rate")
+}
+
+func TestMaxMinWaterFilling(t *testing.T) {
+	// Classic parking-lot: flows A (link1 only) and B (link1+link2), link2 is
+	// narrow. B is limited by link2, A picks up the slack on link1.
+	e := sim.New(1)
+	f := NewFabric(e)
+	l1 := f.NewLink("wide", 100e6, 0)
+	l2 := f.NewLink("narrow", 20e6, 0)
+	var rateA, rateB float64
+	e.Spawn("probe", func(p *sim.Proc) {
+		fa := f.StartFlow("A", []*Link{l1}, 1e9)
+		fb := f.StartFlow("B", []*Link{l1, l2}, 1e9)
+		p.Sleep(0.01)
+		rateA, rateB = fa.Rate(), fb.Rate()
+		sim.WaitAll(p, fa.Done(), fb.Done())
+	})
+	e.Run()
+	almost(t, rateB, 20e6, 1, "B limited by the narrow link")
+	almost(t, rateA, 80e6, 1, "A gets the residual of the wide link")
+}
+
+func TestFlowCompletionFreesBandwidth(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	l := f.NewLink("nic", 100e6, 0)
+	var dShort, dLong sim.Time
+	e.Spawn("short", func(p *sim.Proc) { f.Transfer(p, "s", []*Link{l}, 50e6); dShort = p.Now() })
+	e.Spawn("long", func(p *sim.Proc) { f.Transfer(p, "l", []*Link{l}, 150e6); dLong = p.Now() })
+	e.Run()
+	almost(t, dShort, 1, 1e-9, "short flow")
+	almost(t, dLong, 2, 1e-9, "long flow accelerates after short completes")
+}
+
+func TestZeroByteFlowIsLatencyOnly(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	l := f.NewLink("nic", 100e6, 0.005)
+	var done sim.Time
+	e.Spawn("x", func(p *sim.Proc) {
+		f.Transfer(p, "ping", []*Link{l}, 0)
+		done = p.Now()
+	})
+	e.Run()
+	almost(t, done, 0.005, 1e-12, "zero-byte flow")
+}
+
+func TestMessageDoesNotContend(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	l := f.NewLink("nic", 100e6, 0.001)
+	fl := f.StartFlow("bulk", []*Link{l}, 1e9)
+	var msgDone sim.Time
+	e.Spawn("hb", func(p *sim.Proc) {
+		f.Message(p, []*Link{l}, 1000)
+		msgDone = p.Now()
+	})
+	e.Spawn("watch", func(p *sim.Proc) { fl.Done().Wait(p) })
+	e.Run()
+	almost(t, msgDone, 0.001+1000/100e6, 1e-12, "message latency unaffected by bulk flow")
+}
+
+func TestLinkAccounting(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	l := f.NewLink("nic", 100e6, 0)
+	e.Spawn("x", func(p *sim.Proc) {
+		f.Transfer(p, "t", []*Link{l}, 100e6) // busy 0..1
+		p.Sleep(1)                            // idle 1..2
+	})
+	e.Run()
+	almost(t, l.BytesCarried(), 100e6, 1, "bytes carried")
+	almost(t, l.MeanUtilization(), 0.5, 1e-9, "mean utilisation")
+	if f.ActiveFlows() != 0 {
+		t.Fatalf("active flows = %d at end", f.ActiveFlows())
+	}
+}
+
+// Property: with any number of equal flows on one link, aggregate throughput
+// equals link capacity and per-flow completion time scales linearly.
+func TestFairShareScalingProperty(t *testing.T) {
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		e := sim.New(3)
+		f := NewFabric(e)
+		l := f.NewLink("nic", 50e6, 0)
+		size := 25e6
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			e.Spawn("fl", func(p *sim.Proc) {
+				f.Transfer(p, "t", []*Link{l}, size)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		e.Run()
+		want := size * float64(n) / 50e6
+		return math.Abs(last-want) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: max-min allocation never oversubscribes any link.
+func TestNoLinkOversubscriptionProperty(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		e := sim.New(seed)
+		f := NewFabric(e)
+		links := []*Link{
+			f.NewLink("l0", 10e6, 0),
+			f.NewLink("l1", 25e6, 0),
+			f.NewLink("l2", 100e6, 0),
+		}
+		for i := 0; i < n; i++ {
+			path := []*Link{links[e.Rand().Intn(3)], links[e.Rand().Intn(3)]}
+			if path[0] == path[1] {
+				path = path[:1]
+			}
+			f.StartFlow("fl", path, 1e6+e.Rand().Float64()*20e6)
+		}
+		ok := true
+		e.Spawn("check", func(p *sim.Proc) {
+			for f.ActiveFlows() > 0 {
+				for _, l := range links {
+					if l.Utilization() > 1+1e-9 {
+						ok = false
+					}
+				}
+				p.Sleep(0.05)
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package workloads
+
+import (
+	"fmt"
+
+	"vhadoop/internal/core"
+	"vhadoop/internal/sim"
+)
+
+// TestDFSIO is the HDFS stress benchmark of Table I: N concurrent writers
+// (then readers), one per worker VM, each streaming one file through HDFS.
+// As in Hadoop's TestDFSIO, each file is handled by the task running on the
+// VM that also stores its first replica, so reads are datanode-local while
+// writes additionally pay the replication pipeline — which is why measured
+// read throughput exceeds write throughput.
+
+// DFSIOOptions sizes one TestDFSIO run.
+type DFSIOOptions struct {
+	Files     int     // concurrent files (one per worker, round-robin)
+	FileBytes float64 // size of each file
+}
+
+// DFSIOResult is one read or write phase.
+type DFSIOResult struct {
+	Kind           string // "write" or "read"
+	Options        DFSIOOptions
+	Elapsed        sim.Time
+	ThroughputMBps float64 // aggregate MB/s across all files
+	PerFileMBps    float64 // mean per-file throughput, what TestDFSIO prints
+}
+
+// RunDFSIOWrite runs the write phase: every file is written concurrently
+// from its assigned worker VM.
+func RunDFSIOWrite(p *sim.Proc, pl *core.Platform, opts DFSIOOptions) (DFSIOResult, error) {
+	res := DFSIOResult{Kind: "write", Options: opts}
+	workers := pl.Workers()
+	start := p.Now()
+	procs := make([]*sim.Proc, opts.Files)
+	for i := 0; i < opts.Files; i++ {
+		vm := workers[i%len(workers)]
+		name := fmt.Sprintf("/dfsio/f%03d", i)
+		procs[i] = pl.Engine.Spawn("dfsio-write", func(q *sim.Proc) {
+			if _, err := pl.DFS.Write(q, vm, name, opts.FileBytes, nil); err != nil {
+				q.Fail(err)
+			}
+		})
+	}
+	if err := sim.WaitProcs(p, procs...); err != nil {
+		return res, err
+	}
+	res.Elapsed = p.Now() - start
+	total := opts.FileBytes * float64(opts.Files)
+	res.ThroughputMBps = total / res.Elapsed / 1e6
+	res.PerFileMBps = res.ThroughputMBps / float64(opts.Files)
+	return res, nil
+}
+
+// RunDFSIORead runs the read phase over files written by RunDFSIOWrite.
+// Readers are offset from the writers by one VM, reflecting that TestDFSIO's
+// read maps rarely all land on the datanode holding the first replica; with
+// replication 2 the data still usually arrives from a nearby node.
+func RunDFSIORead(p *sim.Proc, pl *core.Platform, opts DFSIOOptions) (DFSIOResult, error) {
+	res := DFSIOResult{Kind: "read", Options: opts}
+	workers := pl.Workers()
+	start := p.Now()
+	procs := make([]*sim.Proc, opts.Files)
+	stride := len(workers)/2 + 1
+	for i := 0; i < opts.Files; i++ {
+		vm := workers[(i+stride)%len(workers)]
+		name := fmt.Sprintf("/dfsio/f%03d", i)
+		procs[i] = pl.Engine.Spawn("dfsio-read", func(q *sim.Proc) {
+			if _, err := pl.DFS.Read(q, vm, name); err != nil {
+				q.Fail(err)
+			}
+		})
+	}
+	if err := sim.WaitProcs(p, procs...); err != nil {
+		return res, err
+	}
+	res.Elapsed = p.Now() - start
+	total := opts.FileBytes * float64(opts.Files)
+	res.ThroughputMBps = total / res.Elapsed / 1e6
+	res.PerFileMBps = res.ThroughputMBps / float64(opts.Files)
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package xen
+
+import (
+	"fmt"
+
+	"vhadoop/internal/nfs"
+	"vhadoop/internal/phys"
+	"vhadoop/internal/sim"
+)
+
+// Config carries the virtualization layer's tunables.
+type Config struct {
+	// CPUQuantum is the VCPU scheduling quantum in core-seconds. Smaller
+	// values track contention changes more precisely at the cost of more
+	// simulation events.
+	CPUQuantum float64
+	// IdleDirtyRate is the page-dirty rate of an idle guest (bytes/s).
+	IdleDirtyRate float64
+	// BootTime is the guest OS boot time once the image is available.
+	BootTime sim.Time
+	// ImageBytes is the VM image size streamed from NFS on first boot.
+	ImageBytes float64
+}
+
+// DefaultConfig mirrors the paper's testbed software stack (CentOS dom0,
+// Ubuntu 8.10 guests, Xen 3.4).
+func DefaultConfig() Config {
+	return Config{
+		CPUQuantum:    0.25,
+		IdleDirtyRate: 2e6,
+		BootTime:      20,
+		ImageBytes:    1.5e9,
+	}
+}
+
+// Manager is the cluster-wide virtualization control plane (the role xend +
+// the platform's Virtualization Module play in the paper): it creates VMs on
+// machines, boots them from NFS images and live-migrates them.
+type Manager struct {
+	engine *sim.Engine
+	topo   *phys.Topology
+	nfs    *nfs.Server
+	cfg    Config
+	vms    []*VM
+}
+
+// NewManager returns a manager over the given topology and filer.
+func NewManager(topo *phys.Topology, filer *nfs.Server, cfg Config) *Manager {
+	if cfg.CPUQuantum <= 0 {
+		panic("xen: CPUQuantum must be positive")
+	}
+	return &Manager{engine: topo.Engine(), topo: topo, nfs: filer, cfg: cfg}
+}
+
+// Engine returns the simulation engine.
+func (m *Manager) Engine() *sim.Engine { return m.engine }
+
+// Topology returns the physical topology.
+func (m *Manager) Topology() *phys.Topology { return m.topo }
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// VMs returns every defined VM in creation order.
+func (m *Manager) VMs() []*VM { return m.vms }
+
+// Define creates a VM on host with the given memory, reserving DRAM. The VM
+// is immediately runnable; use Boot to additionally charge image-fetch and
+// guest boot time.
+func (m *Manager) Define(name string, memBytes float64, host *phys.Machine) (*VM, error) {
+	if err := host.ReserveMem(memBytes); err != nil {
+		return nil, fmt.Errorf("xen: define %s: %w", name, err)
+	}
+	vm := &VM{
+		Name:      name,
+		MemBytes:  memBytes,
+		mgr:       m,
+		host:      host,
+		gate:      sim.NewGate(m.engine, true),
+		vcpu:      sim.NewQueue(m.engine, 1),
+		state:     StateRunning,
+		cpuWeight: 1,
+	}
+	m.vms = append(m.vms, vm)
+	return vm, nil
+}
+
+// MustDefine is Define that panics on placement failure (setup code).
+func (m *Manager) MustDefine(name string, memBytes float64, host *phys.Machine) *VM {
+	vm, err := m.Define(name, memBytes, host)
+	if err != nil {
+		panic(err)
+	}
+	return vm
+}
+
+// Boot charges the cost of streaming the VM image from the NFS filer to the
+// host and booting the guest OS. VMs booting on the same host contend on the
+// filer's disk and the host NIC, which is what makes large virtual clusters
+// slow to start in lockstep.
+func (m *Manager) Boot(p *sim.Proc, vm *VM) {
+	m.nfs.FetchImage(p, vm.host, m.cfg.ImageBytes)
+	p.Sleep(m.cfg.BootTime)
+}

@@ -1,0 +1,302 @@
+// Package xen models the virtualization layer of vHadoop: virtual machines
+// scheduled by a Xen-style credit scheduler, with their images on an NFS
+// filer, and pre-copy live migration between physical machines.
+package xen
+
+import (
+	"errors"
+	"fmt"
+
+	"vhadoop/internal/phys"
+	"vhadoop/internal/sim"
+)
+
+// ErrVMDead aborts a process that touches a crashed VM.
+var ErrVMDead = errors.New("xen: virtual machine has crashed")
+
+// ErrVMStopped aborts a process that touches a cleanly shut-down VM.
+var ErrVMStopped = errors.New("xen: virtual machine was shut down")
+
+// VMState is the lifecycle state of a virtual machine.
+type VMState int
+
+// VM lifecycle states.
+const (
+	StateDefined VMState = iota
+	StateRunning
+	StatePaused // stop-and-copy phase of live migration
+	StateCrashed
+	StateShutdown // cleanly released (cloud lease teardown, scale-in)
+)
+
+func (s VMState) String() string {
+	switch s {
+	case StateDefined:
+		return "defined"
+	case StateRunning:
+		return "running"
+	case StatePaused:
+		return "paused"
+	case StateCrashed:
+		return "crashed"
+	case StateShutdown:
+		return "shutdown"
+	}
+	return fmt.Sprintf("VMState(%d)", int(s))
+}
+
+// VM is a virtual machine: 1 VCPU plus a fixed memory reservation, with its
+// virtual disk backed by the NFS filer.
+type VM struct {
+	Name     string
+	MemBytes float64
+
+	mgr   *Manager
+	host  *phys.Machine
+	gate  *sim.Gate  // closed while paused
+	vcpu  *sim.Queue // the single VCPU: co-resident tasks serialise on it
+	state VMState
+
+	cpuWeight  float64
+	extraDirty float64 // page-dirty rate contributed by running activity
+
+	// cumulative counters, read by the nmon monitor
+	cpuUsed    float64 // core-seconds executed
+	diskRead   float64
+	diskWrite  float64
+	netSent    float64
+	netRecv    float64
+	migrations int
+}
+
+// Host returns the physical machine currently hosting the VM.
+func (vm *VM) Host() *phys.Machine { return vm.host }
+
+// Engine returns the simulation engine the VM lives in.
+func (vm *VM) Engine() *sim.Engine { return vm.mgr.engine }
+
+// State returns the VM lifecycle state.
+func (vm *VM) State() VMState { return vm.state }
+
+// Running reports whether the VM is running (not paused or crashed).
+func (vm *VM) Running() bool { return vm.state == StateRunning }
+
+// Migrations returns how many times this VM has been live-migrated.
+func (vm *VM) Migrations() int { return vm.migrations }
+
+// CPUUsed returns cumulative core-seconds executed by the VCPU.
+func (vm *VM) CPUUsed() float64 { return vm.cpuUsed }
+
+// DiskRead and DiskWrite return cumulative VM virtual-disk traffic in bytes.
+func (vm *VM) DiskRead() float64  { return vm.diskRead }
+func (vm *VM) DiskWrite() float64 { return vm.diskWrite }
+
+// NetSent and NetRecv return cumulative VM network traffic in bytes.
+func (vm *VM) NetSent() float64 { return vm.netSent }
+func (vm *VM) NetRecv() float64 { return vm.netRecv }
+
+func (vm *VM) String() string { return vm.Name + "@" + vm.host.Name }
+
+// checkAlive aborts the calling process if the VM has crashed or was shut
+// down.
+func (vm *VM) checkAlive(p *sim.Proc) {
+	switch vm.state {
+	case StateCrashed:
+		p.Fail(fmt.Errorf("%w: %s", ErrVMDead, vm.Name))
+	case StateShutdown:
+		p.Fail(fmt.Errorf("%w: %s", ErrVMStopped, vm.Name))
+	}
+}
+
+// Exec runs cpuSeconds of VCPU work. The VM has a single VCPU, so
+// co-resident tasks time-slice on it quantum by quantum; across VMs the Xen
+// credit scheduler (the host CPU fair-share) stretches quanta when VCPUs
+// outnumber cores. Execution stalls while the VM is paused (live migration
+// stop-and-copy) and aborts the process if the VM crashes.
+func (vm *VM) Exec(p *sim.Proc, cpuSeconds float64) {
+	q := vm.mgr.cfg.CPUQuantum
+	for remaining := cpuSeconds; remaining > 0; {
+		vm.checkAlive(p)
+		vm.gate.WaitOpen(p)
+		vm.checkAlive(p)
+		step := q
+		if step > remaining {
+			step = remaining
+		}
+		vm.vcpu.Acquire(p, 1)
+		func() {
+			defer vm.vcpu.Release(1) // released even if the process aborts
+			vm.checkAlive(p)
+			vm.host.CPU.UseWeighted(p, step, vm.cpuWeight)
+		}()
+		vm.cpuUsed += step
+		remaining -= step
+	}
+}
+
+// ReadDisk reads bytes from the VM's NFS-backed virtual disk, bypassing the
+// dom0 page cache (scratch data that is written and read once).
+func (vm *VM) ReadDisk(p *sim.Proc, bytes float64) { vm.ReadDiskTagged(p, "", bytes) }
+
+// ReadDiskTagged reads bytes belonging to the cacheable object key (an HDFS
+// block, typically). Data recently written or read on this host is served
+// from the dom0 NFS-client page cache at memory speed; otherwise it streams
+// from the filer and populates the cache. An empty key bypasses the cache.
+func (vm *VM) ReadDiskTagged(p *sim.Proc, key string, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	vm.checkAlive(p)
+	vm.gate.WaitOpen(p)
+	vm.checkAlive(p)
+	vm.diskRead += bytes
+	if key != "" && vm.host.Cache.Contains(key) {
+		vm.host.MemBus.Use(p, bytes)
+		return
+	}
+	vm.mgr.nfs.Read(p, vm.host, bytes)
+	if key != "" {
+		vm.host.Cache.Insert(key, bytes)
+	}
+}
+
+// WriteDisk writes bytes to the VM's NFS-backed virtual disk (uncached
+// scratch data).
+func (vm *VM) WriteDisk(p *sim.Proc, bytes float64) { vm.WriteDiskTagged(p, "", bytes) }
+
+// WriteDiskTagged writes bytes for the cacheable object key: write-through
+// to the filer (NFS close-to-open consistency flushes on close), leaving a
+// copy in this host's page cache for later reads.
+func (vm *VM) WriteDiskTagged(p *sim.Proc, key string, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	vm.checkAlive(p)
+	vm.gate.WaitOpen(p)
+	vm.checkAlive(p)
+	vm.diskWrite += bytes
+	vm.mgr.nfs.Write(p, vm.host, bytes)
+	if key != "" {
+		vm.host.Cache.Insert(key, bytes)
+	}
+}
+
+// ReadFromDiskTo streams bytes from this VM's NFS-backed virtual disk to
+// dst as one coupled flow: filer disk -> filer NIC -> this host -> (bridge
+// and NICs as needed) -> dst. Because the relay occupies every segment
+// simultaneously, a cross-machine read consumes both machines' netback
+// capacity for its full volume — the physical reason cross-domain HDFS
+// reads degrade. Xen's blktap opens image files with O_DIRECT, so there is
+// no dom0 caching on this path.
+func (vm *VM) ReadFromDiskTo(p *sim.Proc, dst *VM, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	vm.checkAlive(p)
+	vm.gate.WaitOpen(p)
+	vm.checkAlive(p)
+	if dst != nil && dst != vm {
+		dst.checkAlive(p)
+	}
+	vm.diskRead += bytes
+	topo := vm.mgr.topo
+	filer := vm.mgr.nfs.Machine()
+	path := topo.HostPath(filer, vm.host)
+	if dst != nil && dst != vm {
+		vm.netSent += bytes
+		dst.netRecv += bytes
+		path = append(path, topo.Path(vm.host, dst.host)...)
+	}
+	diskDone := vm.mgr.nfs.SubmitRead(bytes)
+	fl := topo.Fabric().StartFlow("disk-relay:"+vm.Name, path, bytes)
+	sim.WaitAll(p, diskDone, fl.Done())
+}
+
+// SendTo streams bytes from this VM to dst over the fabric: the virtual
+// bridge alone within one physical machine, or bridge + NIC + switch across
+// machines. Loopback (dst == vm) is free.
+func (vm *VM) SendTo(p *sim.Proc, dst *VM, bytes float64) {
+	if bytes <= 0 || dst == vm {
+		return
+	}
+	vm.checkAlive(p)
+	vm.gate.WaitOpen(p)
+	vm.checkAlive(p)
+	dst.checkAlive(p)
+	vm.netSent += bytes
+	dst.netRecv += bytes
+	path := vm.mgr.topo.Path(vm.host, dst.host)
+	vm.mgr.topo.Fabric().Transfer(p, vm.Name+"->"+dst.Name, path, bytes)
+}
+
+// Message sends a small control RPC to dst (latency-dominated, does not
+// contend with bulk flows). Loopback costs nothing.
+func (vm *VM) Message(p *sim.Proc, dst *VM, bytes float64) {
+	if dst == vm {
+		return
+	}
+	vm.checkAlive(p)
+	vm.gate.WaitOpen(p)
+	dst.checkAlive(p)
+	path := vm.mgr.topo.Path(vm.host, dst.host)
+	vm.mgr.topo.Fabric().Message(p, path, bytes)
+}
+
+// AddActivity registers extra page-dirtying activity (bytes/s), typically
+// for the lifetime of a running task; it feeds the migration working-set
+// model. Pair with RemoveActivity.
+func (vm *VM) AddActivity(dirtyRate float64) { vm.extraDirty += dirtyRate }
+
+// RemoveActivity unregisters page-dirtying activity.
+func (vm *VM) RemoveActivity(dirtyRate float64) {
+	vm.extraDirty -= dirtyRate
+	if vm.extraDirty < -1e-9 {
+		panic("xen: activity over-removed on " + vm.Name)
+	}
+	if vm.extraDirty < 0 {
+		vm.extraDirty = 0
+	}
+}
+
+// DirtyRate returns the current page-dirty rate in bytes/s: an idle baseline
+// (guest OS housekeeping) plus registered task activity, capped so the
+// working set cannot exceed memory itself per unit time.
+func (vm *VM) DirtyRate() float64 {
+	return vm.mgr.cfg.IdleDirtyRate + vm.extraDirty
+}
+
+// Crash marks the VM dead. Blocked and future operations on it abort their
+// processes with ErrVMDead; the memory reservation is released.
+func (vm *VM) Crash() {
+	if vm.state == StateCrashed || vm.state == StateShutdown {
+		return
+	}
+	vm.state = StateCrashed
+	vm.host.ReleaseMem(vm.MemBytes)
+	// Wake anything parked on the pause gate so it observes the crash.
+	vm.gate.Open()
+}
+
+// Shutdown releases the VM cleanly (cloud lease teardown): the memory
+// reservation returns to the host and any late operations abort their
+// processes with ErrVMStopped.
+func (vm *VM) Shutdown() {
+	if vm.state == StateCrashed || vm.state == StateShutdown {
+		return
+	}
+	vm.state = StateShutdown
+	vm.host.ReleaseMem(vm.MemBytes)
+	vm.gate.Open()
+}
+
+// pause closes the VCPU gate (stop-and-copy).
+func (vm *VM) pause() {
+	vm.state = StatePaused
+	vm.gate.Close()
+}
+
+// resume reopens the VCPU gate after migration.
+func (vm *VM) resume() {
+	vm.state = StateRunning
+	vm.gate.Open()
+}
