@@ -1,0 +1,116 @@
+package vhadoop_test
+
+// Regression tests for the data-plane determinism guarantee: the sorted
+// map-side spills and the reduce-side k-way merge must leave every job's
+// output — record order included — exactly reproducible under a fixed seed.
+// These would catch an unstable spill sort, a merge that breaks ties by the
+// wrong run, or a partitioner change silently re-routing keys.
+
+import (
+	"testing"
+
+	"vhadoop/internal/clustering"
+	"vhadoop/internal/core"
+	"vhadoop/internal/datasets"
+	"vhadoop/internal/mapreduce"
+	"vhadoop/internal/sim"
+	"vhadoop/internal/workloads"
+)
+
+// runWordcountOnce runs a 4-reduce wordcount on a fresh same-seed platform
+// and returns the ordered output records and the virtual finish time.
+func runWordcountOnce(t *testing.T) ([]mapreduce.KV, sim.Time) {
+	t.Helper()
+	pl := core.MustNewPlatform(platformOpts(8, core.Normal, 42))
+	var out []mapreduce.KV
+	vsec, err := pl.Run(func(p *sim.Proc) error {
+		recs := datasets.Text(pl.Engine.Rand(), datasets.DefaultTextOptions(32e6))
+		if _, err := pl.LoadText(p, "/wc", 32e6, recs); err != nil {
+			return err
+		}
+		var err error
+		out, _, err = pl.MR.RunAndCollect(p, workloads.WordcountJob("/wc", "", 4, true))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, vsec
+}
+
+func TestWordcountOutputDeterministic(t *testing.T) {
+	out1, vsec1 := runWordcountOnce(t)
+	out2, vsec2 := runWordcountOnce(t)
+	if vsec1 != vsec2 {
+		t.Fatalf("virtual time differs across same-seed runs: %v vs %v", vsec1, vsec2)
+	}
+	if len(out1) == 0 || len(out1) != len(out2) {
+		t.Fatalf("output lengths differ: %d vs %d", len(out1), len(out2))
+	}
+	for i := range out1 {
+		if out1[i].Key != out2[i].Key || out1[i].Value != out2[i].Value {
+			t.Fatalf("record %d differs: %s=%v vs %s=%v",
+				i, out1[i].Key, out1[i].Value, out2[i].Key, out2[i].Value)
+		}
+	}
+}
+
+// runKMeansOnce runs exactly 3 k-means iterations on a fresh same-seed
+// platform and returns the resulting centers and history.
+func runKMeansOnce(t *testing.T) clustering.Result {
+	t.Helper()
+	series := datasets.ControlChart(sim.New(7).Rand(), datasets.DefaultControlChartOptions())
+	vectors := clustering.FromFloats(datasets.ControlVectors(series))
+	initial := []clustering.Vector{
+		vectors[0].Clone(), vectors[100].Clone(), vectors[200].Clone(),
+		vectors[300].Clone(), vectors[400].Clone(), vectors[500].Clone(),
+	}
+	opts := clustering.DefaultKMeansOptions(len(initial))
+	opts.MaxIter = 3
+	opts.Epsilon = 0 // run all 3 iterations regardless of convergence
+
+	pl := core.MustNewPlatform(platformOpts(8, core.Normal, 42))
+	d := clustering.NewDriver(pl, "/ml/in")
+	var res clustering.Result
+	if _, err := pl.Run(func(p *sim.Proc) error {
+		if err := d.Load(p, vectors); err != nil {
+			return err
+		}
+		var err error
+		res, err = clustering.KMeansMR(p, d, initial, opts)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("iterations = %d, want 3", res.Iterations)
+	}
+	return res
+}
+
+func TestKMeansCentersDeterministic(t *testing.T) {
+	r1 := runKMeansOnce(t)
+	r2 := runKMeansOnce(t)
+	if len(r1.History) != len(r2.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(r1.History), len(r2.History))
+	}
+	// Centers after every iteration must match bitwise: floating-point sums
+	// are order-sensitive, so this fails if the shuffle feeds partials to
+	// the reducers in a different order between runs.
+	for it := range r1.History {
+		for c := range r1.History[it] {
+			v1, v2 := r1.History[it][c], r2.History[it][c]
+			for i := range v1 {
+				if v1[i] != v2[i] {
+					t.Fatalf("iteration %d center %d dim %d differs: %v vs %v",
+						it, c, i, v1[i], v2[i])
+				}
+			}
+		}
+	}
+	for i := range r1.Assignments {
+		if r1.Assignments[i] != r2.Assignments[i] {
+			t.Fatalf("assignment %d differs: %d vs %d", i, r1.Assignments[i], r2.Assignments[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package clustering
 
 import (
 	"fmt"
+	"math"
 
 	"vhadoop/internal/mapreduce"
 	"vhadoop/internal/sim"
@@ -15,24 +16,64 @@ type CanopyOptions struct {
 	Distance Distance
 }
 
+// canopySet accumulates canopy centers: absorb adds a point as a new center
+// unless it lies within T2 of an existing one. The Euclidean specialization
+// caches each center's norm and rejects most point/center pairs on the norm
+// gap alone (see normMargin for why the prune is exact) before falling back
+// to the bounded squared-distance kernel.
+type canopySet struct {
+	inT2    func(a, b Vector) bool // generic path (non-Euclidean)
+	t2sq    float64
+	fast    bool
+	centers []Vector
+	norms   []float64 // center norms, Euclidean path only
+}
+
+func newCanopySet(opts CanopyOptions) *canopySet {
+	s := &canopySet{fast: isEuclidean(opts.Distance)}
+	if s.fast {
+		s.t2sq = opts.T2 * opts.T2
+	} else {
+		s.inT2 = withinThreshold(opts.Distance, opts.T2)
+	}
+	return s
+}
+
+func (s *canopySet) absorb(pt Vector) {
+	if s.fast {
+		sv := sqNorm(pt)
+		nv := math.Sqrt(sv)
+		for i, c := range s.centers {
+			nc := s.norms[i]
+			diff := nv - nc
+			if lb := diff * diff; lb >= s.t2sq+normMargin*(sv+nc*nc) {
+				continue // provably not within T2
+			}
+			if _, ok := squaredEuclideanWithin(pt, c, s.t2sq); ok {
+				return
+			}
+		}
+		s.centers = append(s.centers, pt.Clone())
+		s.norms = append(s.norms, nv)
+		return
+	}
+	for _, c := range s.centers {
+		if s.inT2(pt, c) {
+			return
+		}
+	}
+	s.centers = append(s.centers, pt.Clone())
+}
+
 // canopyCluster runs the sequential canopy pass over points: the exact
 // routine used by the reference implementation, by each mapper on its split,
 // and by the reducer on the mapper-produced centers.
 func canopyCluster(points []Vector, opts CanopyOptions) []Vector {
-	var centers []Vector
+	s := newCanopySet(opts)
 	for _, pt := range points {
-		inTight := false
-		for _, c := range centers {
-			if opts.Distance(pt, c) < opts.T2 {
-				inTight = true
-				break
-			}
-		}
-		if !inTight {
-			centers = append(centers, pt.Clone())
-		}
+		s.absorb(pt)
 	}
-	return centers
+	return s.centers
 }
 
 // Canopy is the in-memory reference implementation: one pass creates the
@@ -65,28 +106,25 @@ func validateCanopy(opts CanopyOptions) error {
 }
 
 // canopyMapper builds canopies over its split and emits their centers when
-// the split ends (Hadoop's cleanup hook).
+// the split ends (Hadoop's cleanup hook). The canopySet is compiled once per
+// mapper so every point-center check takes the norm-pruned squared path.
 type canopyMapper struct {
-	opts    CanopyOptions
-	centers []Vector
+	opts CanopyOptions
+	set  *canopySet
 }
 
 func (m *canopyMapper) Map(_ string, value any, _ mapreduce.Emit) {
-	pt := Vector(value.([]float64))
-	inTight := false
-	for _, c := range m.centers {
-		if m.opts.Distance(pt, c) < m.opts.T2 {
-			inTight = true
-			break
-		}
+	if m.set == nil {
+		m.set = newCanopySet(m.opts)
 	}
-	if !inTight {
-		m.centers = append(m.centers, pt.Clone())
-	}
+	m.set.absorb(Vector(value.([]float64)))
 }
 
 func (m *canopyMapper) Close(emit mapreduce.Emit) {
-	for _, c := range m.centers {
+	if m.set == nil {
+		return
+	}
+	for _, c := range m.set.centers {
 		emit("centroid", c, float64(len(c)*8+16))
 	}
 }

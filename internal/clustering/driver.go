@@ -177,6 +177,22 @@ func newPartial(dim int, squares bool) *partial {
 	return p
 }
 
+// partialOf builds the single-observation partial the mappers emit per
+// point: one clone instead of a zero-fill plus an add pass.
+func partialOf(v Vector) *partial {
+	return &partial{sum: v.Clone(), count: 1}
+}
+
+// scaledPartialOf is partialOf with membership weight w applied (the fuzzy
+// k-means per-point emission).
+func scaledPartialOf(v Vector, w float64) *partial {
+	sum := make(Vector, len(v))
+	for i, x := range v {
+		sum[i] = w * x
+	}
+	return &partial{sum: sum, weight: w, count: 1}
+}
+
 func (a *partial) add(b *partial) {
 	a.sum.Add(b.sum)
 	if a.sumSq != nil && b.sumSq != nil {

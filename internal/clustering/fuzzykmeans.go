@@ -27,25 +27,58 @@ func DefaultFuzzyKMeansOptions(k int) FuzzyKMeansOptions {
 // u_i = 1 / sum_j (d_i/d_j)^(2/(m-1)). A zero distance collapses to a hard
 // assignment.
 func memberships(v Vector, centers []Vector, dist Distance, m float64) []float64 {
-	ds := make([]float64, len(centers))
+	return membershipsInto(v, centers, dist, m, nil, nil)
+}
+
+// membershipsInto is memberships with caller-owned scratch: ds holds the
+// per-center distances and u receives the result (both grown as needed; the
+// returned slice aliases u). For Mahout's default m=2 the exponent is
+// exactly 2, so the ratio is squared directly instead of through math.Pow —
+// the same rounding, an order of magnitude less CPU.
+func membershipsInto(v Vector, centers []Vector, dist Distance, m float64, ds, u []float64) []float64 {
+	k := len(centers)
+	if cap(ds) < k {
+		ds = make([]float64, k)
+	}
+	ds = ds[:k]
+	if cap(u) < k {
+		u = make([]float64, k)
+	}
+	u = u[:k]
 	for i, c := range centers {
 		ds[i] = dist(v, c)
 		if ds[i] == 0 {
-			u := make([]float64, len(centers))
+			for j := range u {
+				u[j] = 0
+			}
 			u[i] = 1
 			return u
 		}
 	}
 	exp := 2 / (m - 1)
-	u := make([]float64, len(centers))
+	square := exp == 2
 	for i := range centers {
 		var s float64
 		for j := range centers {
-			s += math.Pow(ds[i]/ds[j], exp)
+			r := ds[i] / ds[j]
+			if square {
+				s += r * r
+			} else {
+				s += math.Pow(r, exp)
+			}
 		}
 		u[i] = 1 / s
 	}
 	return u
+}
+
+// powM raises x to the fuzziness exponent, multiplying directly when m=2
+// (bit-identical to math.Pow's repeated-squaring result).
+func powM(x, m float64) float64 {
+	if m == 2 {
+		return x * x
+	}
+	return math.Pow(x, m)
 }
 
 // fuzzyStep performs one fuzzy c-means update of the centers.
@@ -55,10 +88,12 @@ func fuzzyStep(vectors, centers []Vector, dist Distance, m float64) []Vector {
 	for i := range acc {
 		acc[i] = newPartial(dim, false)
 	}
+	ds := make([]float64, len(centers))
+	u := make([]float64, len(centers))
 	for _, v := range vectors {
-		u := memberships(v, centers, dist, m)
+		membershipsInto(v, centers, dist, m, ds, u)
 		for i := range centers {
-			w := math.Pow(u[i], m)
+			w := powM(u[i], m)
 			acc[i].sum.AddScaled(v, w)
 			acc[i].weight += w
 		}
@@ -108,22 +143,25 @@ func FuzzyKMeans(vectors []Vector, initial []Vector, opts FuzzyKMeansOptions) (R
 }
 
 // fuzzyMapper emits a weighted partial toward every center for each vector.
+// ds and u are per-mapper scratch reused across records, so the membership
+// computation allocates nothing per point.
 type fuzzyMapper struct {
 	centers []Vector
 	dist    Distance
 	m       float64
+	ds, u   []float64
 }
 
 func (fm *fuzzyMapper) Map(_ string, value any, emit mapreduce.Emit) {
 	v := Vector(value.([]float64))
-	u := memberships(v, fm.centers, fm.dist, fm.m)
+	if fm.ds == nil {
+		fm.ds = make([]float64, len(fm.centers))
+		fm.u = make([]float64, len(fm.centers))
+	}
+	membershipsInto(v, fm.centers, fm.dist, fm.m, fm.ds, fm.u)
 	for i := range fm.centers {
-		w := math.Pow(u[i], fm.m)
-		pt := newPartial(len(v), false)
-		pt.sum.AddScaled(v, w)
-		pt.weight = w
-		pt.count = 1
-		emit("c"+strconv.Itoa(i), pt, partialSize(len(v)))
+		w := powM(fm.u[i], fm.m)
+		emit("c"+strconv.Itoa(i), scaledPartialOf(v, w), partialSize(len(v)))
 	}
 }
 

@@ -2,6 +2,7 @@ package clustering
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 
 	"vhadoop/internal/mapreduce"
@@ -31,8 +32,18 @@ func kmeansStep(vectors, centers []Vector, dist Distance) []Vector {
 	for i := range acc {
 		acc[i] = newPartial(dim, false)
 	}
+	var norms []float64
+	if isEuclidean(dist) {
+		norms = centerNorms(centers)
+	}
 	for _, v := range vectors {
-		c, _ := Nearest(v, centers, dist)
+		var c int
+		if norms != nil {
+			sv := sqNorm(v)
+			c, _ = nearestSquaredPruned(v, math.Sqrt(sv), sv, centers, norms)
+		} else {
+			c, _ = Nearest(v, centers, dist)
+		}
 		acc[c].sum.Add(v)
 		acc[c].count++
 	}
@@ -78,19 +89,29 @@ func KMeans(vectors []Vector, initial []Vector, opts KMeansOptions) (Result, err
 }
 
 // kmeansMapper assigns each input vector to its nearest current center and
-// emits a partial (sum, count) toward that center.
+// emits a partial (sum, count) toward that center. fast selects the
+// NearestSquared path (set once at construction when dist is Euclidean,
+// saving the per-point reflect check Nearest would repeat).
 type kmeansMapper struct {
 	centers []Vector
 	dist    Distance
+	fast    bool
+	norms   []float64 // center norms for the pruned path, built on first Map
 }
 
 func (m *kmeansMapper) Map(_ string, value any, emit mapreduce.Emit) {
 	v := Vector(value.([]float64))
-	c, _ := Nearest(v, m.centers, m.dist)
-	pt := newPartial(len(v), false)
-	pt.sum.Add(v)
-	pt.count = 1
-	emit("c"+strconv.Itoa(c), pt, partialSize(len(v)))
+	var c int
+	if m.fast {
+		if m.norms == nil {
+			m.norms = centerNorms(m.centers)
+		}
+		sv := sqNorm(v)
+		c, _ = nearestSquaredPruned(v, math.Sqrt(sv), sv, m.centers, m.norms)
+	} else {
+		c, _ = Nearest(v, m.centers, m.dist)
+	}
+	emit("c"+strconv.Itoa(c), partialOf(v), partialSize(len(v)))
 }
 
 // kmeansReducer folds partials into the new centroid.
@@ -135,8 +156,9 @@ func KMeansMR(p *sim.Proc, d *Driver, initial []Vector, opts KMeansOptions) (Res
 			return res, err
 		}
 		captured := centers
+		fast := isEuclidean(opts.Distance)
 		cfg := d.iterationJob("kmeans", state, 1,
-			func() mapreduce.Mapper { return &kmeansMapper{centers: captured, dist: opts.Distance} },
+			func() mapreduce.Mapper { return &kmeansMapper{centers: captured, dist: opts.Distance, fast: fast} },
 			func() mapreduce.Reducer { return kmeansReducer() },
 			kmeansCombiner,
 		)

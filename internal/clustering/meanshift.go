@@ -41,9 +41,10 @@ func meanShiftMove(vectors, centers []Vector, opts MeanShiftOptions) []Vector {
 	for i := range acc {
 		acc[i] = newPartial(dim, false)
 	}
+	inT1 := withinThreshold(opts.Distance, opts.T1)
 	for _, v := range vectors {
 		for i, c := range centers {
-			if opts.Distance(v, c) < opts.T1 {
+			if inT1(v, c) {
 				acc[i].sum.Add(v)
 				acc[i].count++
 			}
@@ -64,11 +65,12 @@ func meanShiftMove(vectors, centers []Vector, opts MeanShiftOptions) []Vector {
 
 // mergeCanopies collapses centers that came within T2 of an earlier center.
 func mergeCanopies(centers []Vector, opts MeanShiftOptions) []Vector {
+	inT2 := withinThreshold(opts.Distance, opts.T2)
 	var out []Vector
 	for _, c := range centers {
 		merged := false
 		for _, kept := range out {
-			if opts.Distance(c, kept) < opts.T2 {
+			if inT2(c, kept) {
 				merged = true
 				break
 			}
@@ -125,16 +127,17 @@ func MeanShift(vectors []Vector, opts MeanShiftOptions) (Result, error) {
 type meanShiftMapper struct {
 	centers []Vector
 	opts    MeanShiftOptions
+	inT1    func(a, b Vector) bool
 }
 
 func (m *meanShiftMapper) Map(_ string, value any, emit mapreduce.Emit) {
 	v := Vector(value.([]float64))
+	if m.inT1 == nil {
+		m.inT1 = withinThreshold(m.opts.Distance, m.opts.T1)
+	}
 	for i, c := range m.centers {
-		if m.opts.Distance(v, c) < m.opts.T1 {
-			pt := newPartial(len(v), false)
-			pt.sum.Add(v)
-			pt.count = 1
-			emit("c"+strconv.Itoa(i), pt, partialSize(len(v)))
+		if m.inT1(v, c) {
+			emit("c"+strconv.Itoa(i), partialOf(v), partialSize(len(v)))
 		}
 	}
 }

@@ -1,0 +1,272 @@
+package clustering
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Reference (pre-unroll) kernel implementations: the unrolled versions must
+// match them to tight tolerance on arbitrary dimensions, and beat them in
+// the benchmarks below.
+
+func refSquaredEuclidean(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func refManhattan(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+func refCosine(a, b Vector) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/math.Sqrt(na*nb)
+}
+
+func randVec(rng *rand.Rand, d int) Vector {
+	v := make(Vector, d)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 10
+	}
+	return v
+}
+
+func TestUnrolledKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range []int{1, 2, 3, 4, 5, 7, 8, 15, 60, 129} {
+		a, b := randVec(rng, d), randVec(rng, d)
+		if got, want := SquaredEuclidean(a, b), refSquaredEuclidean(a, b); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("dim %d: SquaredEuclidean = %v, ref %v", d, got, want)
+		}
+		if got, want := Manhattan(a, b), refManhattan(a, b); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("dim %d: Manhattan = %v, ref %v", d, got, want)
+		}
+		if got, want := Cosine(a, b), refCosine(a, b); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("dim %d: Cosine = %v, ref %v", d, got, want)
+		}
+		// Add/AddScaled are per-element: must be bit-identical.
+		va, vb := a.Clone(), a.Clone()
+		va.Add(b)
+		for i := range vb {
+			vb[i] += b[i]
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("dim %d: Add[%d] = %v, want %v", d, i, va[i], vb[i])
+			}
+		}
+		va, vb = a.Clone(), a.Clone()
+		va.AddScaled(b, 0.37)
+		for i := range vb {
+			vb[i] += 0.37 * b[i]
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("dim %d: AddScaled[%d] = %v, want %v", d, i, va[i], vb[i])
+			}
+		}
+	}
+}
+
+func TestNearestSquaredMatchesFullScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		dim := 1 + rng.Intn(70)
+		k := 1 + rng.Intn(30)
+		v := randVec(rng, dim)
+		centers := make([]Vector, k)
+		for i := range centers {
+			centers[i] = randVec(rng, dim)
+		}
+		gotI, gotD := NearestSquared(v, centers)
+		wantI, wantD := -1, math.Inf(1)
+		for i, c := range centers {
+			if d := refSquaredEuclidean(v, c); d < wantD {
+				wantI, wantD = i, d
+			}
+		}
+		if gotI != wantI {
+			t.Fatalf("trial %d: NearestSquared index %d, want %d", trial, gotI, wantI)
+		}
+		if got := SquaredEuclidean(v, centers[gotI]); gotD != got {
+			t.Fatalf("trial %d: NearestSquared distance %v not exact (%v)", trial, gotD, got)
+		}
+	}
+}
+
+func TestSquaredEuclideanWithinPrunes(t *testing.T) {
+	a := Vector{0, 0, 0, 0, 0, 0, 0, 0}
+	b := Vector{10, 10, 10, 10, 10, 10, 10, 10}
+	if _, ok := squaredEuclideanWithin(a, b, 50); ok {
+		t.Fatal("distance 800 reported within bound 50")
+	}
+	d, ok := squaredEuclideanWithin(a, b, 1e9)
+	if !ok || d != SquaredEuclidean(a, b) {
+		t.Fatalf("within large bound: d=%v ok=%v", d, ok)
+	}
+	// Equality to the bound is "not within" (strict <), matching d < bestD.
+	if _, ok := squaredEuclideanWithin(Vector{0}, Vector{2}, 4); ok {
+		t.Fatal("d == bound must not report within")
+	}
+}
+
+// prunedNearest is the test-side wrapper computing the per-point inputs the
+// way the production call sites do.
+func prunedNearest(v Vector, centers []Vector, norms []float64) (int, float64) {
+	sv := sqNorm(v)
+	return nearestSquaredPruned(v, math.Sqrt(sv), sv, centers, norms)
+}
+
+func TestNearestSquaredPrunedMatchesPlainScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(70)
+		k := 1 + rng.Intn(40)
+		v := randVec(rng, dim)
+		centers := make([]Vector, k)
+		for i := range centers {
+			centers[i] = randVec(rng, dim)
+		}
+		norms := centerNorms(centers)
+		wi, wd := NearestSquared(v, centers)
+		gi, gd := prunedNearest(v, centers, norms)
+		if gi != wi || gd != wd {
+			t.Fatalf("trial %d: pruned (%d, %v), plain (%d, %v)", trial, gi, gd, wi, wd)
+		}
+	}
+}
+
+func TestNearestSquaredPrunedAdversarial(t *testing.T) {
+	check := func(name string, v Vector, centers []Vector) {
+		t.Helper()
+		norms := centerNorms(centers)
+		wi, wd := NearestSquared(v, centers)
+		gi, gd := prunedNearest(v, centers, norms)
+		if gi != wi || gd != wd {
+			t.Fatalf("%s: pruned (%d, %v), plain (%d, %v)", name, gi, gd, wi, wd)
+		}
+	}
+	// Exact duplicate centers: the tie must resolve to the lower index.
+	c := Vector{1, 2, 3, 4, 5}
+	check("duplicate-centers", Vector{1.1, 2.1, 2.9, 4.2, 5.3},
+		[]Vector{c.Clone(), c.Clone(), {9, 9, 9, 9, 9}})
+	// Equidistant centers on a shared shell around the query point.
+	check("equidistant", Vector{0, 0},
+		[]Vector{{3, 4}, {4, 3}, {-3, 4}, {5, 0}})
+	// Far from the origin with tightly packed centers: the norm subtraction
+	// cancels catastrophically, the margin must absorb it.
+	base := make(Vector, 60)
+	for i := range base {
+		base[i] = 1e6
+	}
+	near1, near2, origin := base.Clone(), base.Clone(), make(Vector, 60)
+	near1[0] += 1e-4
+	near2[1] -= 2e-4
+	check("cancellation", base, []Vector{near1, near2, origin})
+	// Query coincides with a center (bestD becomes 0).
+	check("zero-distance", base.Clone(), []Vector{near1, base.Clone(), near2})
+}
+
+func TestNearestEuclideanFastPathAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	v := randVec(rng, 60)
+	centers := []Vector{randVec(rng, 60), randVec(rng, 60), randVec(rng, 60)}
+	i1, d1 := Nearest(v, centers, Euclidean)
+	// A distinct closure with identical arithmetic skips the fast path.
+	slow := func(a, b Vector) float64 { return math.Sqrt(refSquaredEuclidean(a, b)) }
+	i2, d2 := Nearest(v, centers, slow)
+	if i1 != i2 {
+		t.Fatalf("fast path index %d, generic %d", i1, i2)
+	}
+	if math.Abs(d1-d2) > 1e-9*(1+d2) {
+		t.Fatalf("fast path distance %v, generic %v", d1, d2)
+	}
+	if !isEuclidean(Euclidean) || isEuclidean(slow) || isEuclidean(nil) {
+		t.Fatal("isEuclidean misclassifies")
+	}
+}
+
+// --- Micro-benchmarks ------------------------------------------------------
+
+func benchVecs(d int) (Vector, Vector) {
+	rng := rand.New(rand.NewSource(42))
+	return randVec(rng, d), randVec(rng, d)
+}
+
+func BenchmarkSquaredEuclidean60(b *testing.B) {
+	x, y := benchVecs(60)
+	b.Run("unrolled", func(b *testing.B) {
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += SquaredEuclidean(x, y)
+		}
+		_ = s
+	})
+	b.Run("reference", func(b *testing.B) {
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += refSquaredEuclidean(x, y)
+		}
+		_ = s
+	})
+}
+
+func BenchmarkManhattan60(b *testing.B) {
+	x, y := benchVecs(60)
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += Manhattan(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkCosine60(b *testing.B) {
+	x, y := benchVecs(60)
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += Cosine(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkNearestSquared(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	v := randVec(rng, 60)
+	centers := make([]Vector, 48)
+	for i := range centers {
+		centers[i] = randVec(rng, 60)
+	}
+	b.Run("bounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			NearestSquared(v, centers)
+		}
+	})
+	b.Run("fullscan-sqrt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			best, bestD := -1, math.Inf(1)
+			for j, c := range centers {
+				if d := math.Sqrt(refSquaredEuclidean(v, c)); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			_ = best
+		}
+	})
+}

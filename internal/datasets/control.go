@@ -1,7 +1,6 @@
 package datasets
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -100,9 +99,21 @@ func ControlChart(rng *rand.Rand, opts ControlChartOptions) []ControlSeries {
 func VectorRecords(vectors [][]float64, bytesEach float64) []hdfs.Record {
 	recs := make([]hdfs.Record, len(vectors))
 	for i, v := range vectors {
-		recs[i] = hdfs.Record{Key: fmt.Sprintf("v%06d", i), Value: v, Size: bytesEach}
+		recs[i] = hdfs.Record{Key: vectorKey(i), Value: v, Size: bytesEach}
 	}
 	return recs
+}
+
+// vectorKey formats "v%06d" without fmt; record keys are minted for every
+// vector on every job load, which put Sprintf on the clustering profiles.
+func vectorKey(i int) string {
+	var b [7]byte
+	b[0] = 'v'
+	for p := 6; p >= 1; p-- {
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[:])
 }
 
 // ControlVectors returns the data set as raw vectors (one 60-dim point per

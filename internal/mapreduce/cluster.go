@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"vhadoop/internal/hdfs"
 	"vhadoop/internal/sim"
@@ -226,9 +227,20 @@ func (c *Cluster) declareDead(tr *Tracker) {
 	}
 	tr.dead = true
 	c.engine.Tracef("jobtracker: tasktracker %s declared dead", tr.VM.Name)
-	for t := range tr.running {
-		delete(tr.running, t)
-		c.requeue(t)
+	// Requeue the tracker's running tasks in deterministic (job, kind,
+	// index) order — tr.running is a map, and requeue order decides the
+	// scheduler's pending queue after a failure.
+	requeueRunning := func(ts []*task) {
+		for _, t := range ts {
+			if tr.running[t] {
+				delete(tr.running, t)
+				c.requeue(t)
+			}
+		}
+	}
+	for _, j := range c.jobs {
+		requeueRunning(j.maps)
+		requeueRunning(j.reduces)
 	}
 	for _, j := range c.jobs {
 		if j.finished() {
@@ -357,15 +369,17 @@ func (c *Cluster) launch(tr *Tracker, t *task) {
 	t.attempts++
 	t.job.stats.Attempts++
 	t.startedAt = c.engine.Now()
-	attempt := c.engine.Spawn(fmt.Sprintf("%s:%s%d.%d", t.job.cfg.Name, t.kind, t.index, t.attempts),
+	attempt := c.engine.Spawn(t.job.cfg.Name+":"+t.kind.String()+strconv.Itoa(t.index)+"."+strconv.Itoa(t.attempts),
 		func(p *sim.Proc) { c.runTask(p, tr, t) })
-	if t.attemptProcs == nil {
-		t.attemptProcs = make(map[*sim.Proc]bool)
-	}
-	t.attemptProcs[attempt] = true
+	t.attemptProcs = append(t.attemptProcs, attempt)
 	c.engine.Spawn("watch:"+attempt.Name(), func(p *sim.Proc) {
 		attempt.Done().Wait(p)
-		delete(t.attemptProcs, attempt)
+		for i, ap := range t.attemptProcs {
+			if ap == attempt {
+				t.attemptProcs = append(t.attemptProcs[:i], t.attemptProcs[i+1:]...)
+				break
+			}
+		}
 		c.onTaskExit(tr, t, attempt.Err())
 	})
 }
@@ -401,7 +415,7 @@ func (c *Cluster) onTaskExit(tr *Tracker, t *task, err error) {
 	t.tracker = tr
 	t.doneIn = c.engine.Now() - t.startedAt
 	// Kill redundant speculative attempts; their slots free as they unwind.
-	for proc := range t.attemptProcs {
+	for _, proc := range t.attemptProcs {
 		proc.Abort(errAttemptKilled)
 	}
 	t.job.taskCompleted(t)

@@ -2,8 +2,6 @@ package mapreduce
 
 import (
 	"fmt"
-	"hash/fnv"
-	"sort"
 
 	"vhadoop/internal/hdfs"
 	"vhadoop/internal/sim"
@@ -54,10 +52,10 @@ type task struct {
 	speculated bool
 	skips      int // scheduling rounds passed over while awaiting locality
 
-	// attempts currently executing (primary plus speculative duplicates);
-	// the winner aborts the rest, as the jobtracker kills redundant
-	// attempts in Hadoop.
-	attemptProcs map[*sim.Proc]bool
+	// attempts currently executing (primary plus speculative duplicates),
+	// in launch order; the winner aborts the rest, as the jobtracker kills
+	// redundant attempts in Hadoop.
+	attemptProcs []*sim.Proc
 
 	// map output, one slice of records and one virtual size per reduce
 	// partition (or a single partition for map-only jobs).
@@ -182,11 +180,20 @@ func (h *Handle) Done() bool { return h.j.finished() }
 // OutputRecords returns the real output records (valid after completion).
 func (h *Handle) OutputRecords() []KV { return h.j.outputRecords() }
 
-// defaultPartition is Hadoop's hash partitioner.
+// defaultPartition is Hadoop's hash partitioner: FNV-1a over the key bytes,
+// inlined so the per-emit hot path allocates neither a hash.Hash32 nor a
+// []byte copy of the key. Bit-compatible with hash/fnv's New32a.
 func defaultPartition(key string, numReduces int) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(numReduces))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(numReduces))
 }
 
 // Submit registers a job with the jobtracker: the client RPCs the master,
@@ -371,31 +378,10 @@ func makeSplits(blocks []*hdfs.Block, numMaps int) []*inputSplit {
 	return splits
 }
 
-// sortKVs orders records by key (stable, so equal keys keep arrival order —
-// deterministic under the simulation's fixed schedules).
-func sortKVs(kvs []KV) {
-	sort.SliceStable(kvs, func(a, b int) bool { return kvs[a].Key < kvs[b].Key })
-}
-
-// groupAndReduce sorts records, groups them by key and feeds each group to
-// red, collecting emissions.
+// groupAndReduce sorts records in place, groups them by key and feeds each
+// group to red, collecting emissions. The sort/merge fast paths live in
+// merge.go; callers holding already-sorted input should use reduceSorted.
 func groupAndReduce(kvs []KV, red Reducer) []KV {
 	sortKVs(kvs)
-	var out []KV
-	emit := func(key string, value any, size float64) {
-		out = append(out, KV{Key: key, Value: value, Size: size})
-	}
-	for i := 0; i < len(kvs); {
-		jEnd := i + 1
-		for jEnd < len(kvs) && kvs[jEnd].Key == kvs[i].Key {
-			jEnd++
-		}
-		values := make([]any, 0, jEnd-i)
-		for _, kv := range kvs[i:jEnd] {
-			values = append(values, kv.Value)
-		}
-		red.Reduce(kvs[i].Key, values, emit)
-		i = jEnd
-	}
-	return out
+	return reduceSorted(kvs, red)
 }

@@ -1,0 +1,228 @@
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// legacySortKVs is the seed implementation's reduce-side sort (reflect-based
+// sort.SliceStable over the full shuffled set), kept here as the reference
+// the merge must match record-for-record and the baseline the
+// micro-benchmark compares against.
+func legacySortKVs(kvs []KV) {
+	sort.SliceStable(kvs, func(a, b int) bool { return kvs[a].Key < kvs[b].Key })
+}
+
+// makeRuns builds nRuns sorted runs of perRun records with keys drawn from a
+// small vocabulary (lots of cross-run duplicates, like a real shuffle). The
+// Value records the producing run and position so tests can check stability.
+func makeRuns(rng *rand.Rand, nRuns, perRun, vocab int) [][]KV {
+	runs := make([][]KV, nRuns)
+	for r := range runs {
+		run := make([]KV, perRun)
+		for i := range run {
+			run[i] = KV{
+				Key:   fmt.Sprintf("k%04d", rng.Intn(vocab)),
+				Value: [2]int{r, i},
+				Size:  24,
+			}
+		}
+		sortKVs(run)
+		runs[r] = run
+	}
+	return runs
+}
+
+func flatten(runs [][]KV) []KV {
+	var out []KV
+	for _, r := range runs {
+		out = append(out, r...)
+	}
+	return out
+}
+
+func TestMergeRunsMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ runs, per, vocab int }{
+		{1, 50, 10},
+		{2, 40, 8},
+		{3, 30, 5},
+		{8, 100, 20},
+		{16, 64, 3}, // heavy duplication across many runs
+	} {
+		runs := makeRuns(rng, tc.runs, tc.per, tc.vocab)
+		want := flatten(runs)
+		legacySortKVs(want)
+		got := mergeRuns(runs, 0)
+		if len(got) != len(want) {
+			t.Fatalf("%d runs: merged %d records, want %d", tc.runs, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key || got[i].Value != want[i].Value {
+				t.Fatalf("%d runs: record %d = %v/%v, want %v/%v (stability broken)",
+					tc.runs, i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
+			}
+		}
+	}
+}
+
+func TestMergeRunsEmptyAndNil(t *testing.T) {
+	if got := mergeRuns(nil, 0); len(got) != 0 {
+		t.Fatalf("merge of no runs = %d records", len(got))
+	}
+	if got := mergeRuns([][]KV{{}, nil, {}}, 0); len(got) != 0 {
+		t.Fatalf("merge of empty runs = %d records", len(got))
+	}
+	run := []KV{{Key: "a"}, {Key: "b"}}
+	got := mergeRuns([][]KV{nil, run, {}}, 0)
+	if len(got) != 2 || got[0].Key != "a" {
+		t.Fatalf("single live run mishandled: %v", got)
+	}
+}
+
+func TestSortKVsStableAndSortedFastPath(t *testing.T) {
+	kvs := []KV{{Key: "a", Value: 1}, {Key: "a", Value: 2}, {Key: "b", Value: 3}}
+	sortKVs(kvs)
+	if kvs[0].Value != 1 || kvs[1].Value != 2 {
+		t.Fatal("sortKVs reordered already-sorted equal keys")
+	}
+	kvs = []KV{{Key: "b", Value: 1}, {Key: "a", Value: 2}, {Key: "a", Value: 3}, {Key: "a", Value: 4}}
+	if sortedByKey(kvs) {
+		t.Fatal("unsorted input reported sorted")
+	}
+	sortKVs(kvs)
+	if kvs[0].Key != "a" || kvs[0].Value != 2 || kvs[1].Value != 3 || kvs[2].Value != 4 || kvs[3].Key != "b" {
+		t.Fatalf("sortKVs unstable or wrong: %v", kvs)
+	}
+}
+
+func TestDefaultPartitionMatchesFNV(t *testing.T) {
+	keys := []string{"", "a", "hello", "k0042", "the quick brown fox", "\x00\xff"}
+	for _, key := range keys {
+		for _, n := range []int{1, 3, 7, 16} {
+			h := fnv.New32a()
+			h.Write([]byte(key))
+			want := int(h.Sum32() % uint32(n))
+			if got := defaultPartition(key, n); got != want {
+				t.Fatalf("defaultPartition(%q, %d) = %d, want %d", key, n, got, want)
+			}
+		}
+	}
+}
+
+func TestDefaultPartitionZeroAllocs(t *testing.T) {
+	key := "some-intermediate-key-0042"
+	allocs := testing.AllocsPerRun(1000, func() {
+		if defaultPartition(key, 16) < 0 {
+			t.Fail()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("defaultPartition allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestReduceSortedReusesScratchSafely(t *testing.T) {
+	// A reducer that (correctly) only reads values during the call.
+	red := ReducerFunc(func(key string, values []any, emit Emit) {
+		sum := 0
+		for _, v := range values {
+			sum += v.(int)
+		}
+		emit(key, sum, 8)
+	})
+	kvs := []KV{
+		{Key: "a", Value: 1}, {Key: "a", Value: 2},
+		{Key: "b", Value: 3},
+		{Key: "c", Value: 4}, {Key: "c", Value: 5}, {Key: "c", Value: 6},
+	}
+	out := reduceSorted(kvs, red)
+	want := map[string]int{"a": 3, "b": 3, "c": 15}
+	if len(out) != 3 {
+		t.Fatalf("groups = %d, want 3", len(out))
+	}
+	for _, kv := range out {
+		if want[kv.Key] != kv.Value.(int) {
+			t.Fatalf("%s = %v, want %d", kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+}
+
+// --- Micro-benchmarks ------------------------------------------------------
+
+// BenchmarkReduceMergeVsSort compares the reduce-side k-way merge over
+// pre-sorted runs against the seed's full stable re-sort of the shuffled
+// concatenation, at a typical shuffle shape (16 maps feeding one reducer).
+func BenchmarkReduceMergeVsSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	runs := makeRuns(rng, 16, 512, 200)
+	b.Run("kway-merge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if out := mergeRuns(runs, 0); len(out) != 16*512 {
+				b.Fatal("bad merge")
+			}
+		}
+	})
+	b.Run("legacy-resort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kvs := flatten(runs)
+			legacySortKVs(kvs)
+			if len(kvs) != 16*512 {
+				b.Fatal("bad sort")
+			}
+		}
+	})
+}
+
+// BenchmarkSortKVs measures the map-side spill sort (generic stable sort)
+// against the seed's reflect-based sort.SliceStable.
+func BenchmarkSortKVs(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	base := flatten(makeRuns(rng, 1, 4096, 500))
+	scratch := make([]KV, len(base))
+	b.Run("index-pdqsort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(scratch, base)
+			sortKVs(scratch)
+		}
+	})
+	b.Run("legacy-sliceStable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(scratch, base)
+			legacySortKVs(scratch)
+		}
+	})
+}
+
+// BenchmarkDefaultPartition measures the inlined FNV-1a partitioner against
+// the seed's hash/fnv-object implementation.
+func BenchmarkDefaultPartition(b *testing.B) {
+	keys := make([]string, 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("word%06d", rng.Intn(1e6))
+	}
+	b.Run("inline-fnv1a", func(b *testing.B) {
+		b.ReportAllocs()
+		s := 0
+		for i := 0; i < b.N; i++ {
+			s += defaultPartition(keys[i%len(keys)], 16)
+		}
+		_ = s
+	})
+	b.Run("legacy-fnv-object", func(b *testing.B) {
+		b.ReportAllocs()
+		s := 0
+		for i := 0; i < b.N; i++ {
+			h := fnv.New32a()
+			h.Write([]byte(keys[i%len(keys)]))
+			s += int(h.Sum32() % 16)
+		}
+		_ = s
+	})
+}

@@ -108,6 +108,94 @@ func TestMakeSplitsConservationProperty(t *testing.T) {
 	}
 }
 
+func TestMakeSplitsMoreMapsThanBlocks(t *testing.T) {
+	// 2 blocks cut into 7 maps: every split must still cover total/7 bytes,
+	// and blocks must span split boundaries without losing ranges.
+	blocks := mkBlocks([]float64{70e6, 70e6}, 7)
+	splits := makeSplits(blocks, 7)
+	if len(splits) != 7 {
+		t.Fatalf("splits = %d, want 7", len(splits))
+	}
+	var total float64
+	recs := 0
+	for i, s := range splits {
+		var partBytes float64
+		for _, part := range s.parts {
+			if part.bytes <= 0 {
+				t.Fatalf("split %d has non-positive part %v", i, part.bytes)
+			}
+			partBytes += part.bytes
+		}
+		if math.Abs(partBytes-20e6) > 1 {
+			t.Fatalf("split %d covers %v bytes, want 20e6", i, partBytes)
+		}
+		total += partBytes
+		recs += len(s.records)
+	}
+	if math.Abs(total-140e6) > 1 || recs != 14 {
+		t.Fatalf("splits cover %v bytes / %d records, want 140e6 / 14", total, recs)
+	}
+}
+
+func TestMakeSplitsSingleOversizedBlock(t *testing.T) {
+	// One giant block split 5 ways: each split gets exactly one part of the
+	// same block, tiling it in order.
+	blocks := mkBlocks([]float64{500e6}, 25)
+	splits := makeSplits(blocks, 5)
+	if len(splits) != 5 {
+		t.Fatalf("splits = %d, want 5", len(splits))
+	}
+	for i, s := range splits {
+		if len(s.parts) != 1 || s.parts[0].block != blocks[0] {
+			t.Fatalf("split %d parts = %+v, want one range of the single block", i, s.parts)
+		}
+		if math.Abs(s.parts[0].bytes-100e6) > 1 {
+			t.Fatalf("split %d covers %v bytes, want 100e6", i, s.parts[0].bytes)
+		}
+		if len(s.records) != 5 {
+			t.Fatalf("split %d records = %d, want 5", i, len(s.records))
+		}
+		if s.primary() != blocks[0] {
+			t.Fatalf("split %d primary mismatch", i)
+		}
+	}
+}
+
+func TestMakeSplitsZeroSizeRecordsOnBoundary(t *testing.T) {
+	// Zero-size records sitting exactly on a split boundary must land in
+	// exactly one split (the one starting at that byte position) and never
+	// be lost or duplicated.
+	b := &hdfs.Block{ID: 1, Index: 0, Size: 100}
+	b.Records = []hdfs.Record{
+		{Key: "a", Size: 50},
+		{Key: "marker1", Size: 0}, // at byte 50, the boundary of 2 splits
+		{Key: "marker2", Size: 0},
+		{Key: "b", Size: 50},
+	}
+	splits := makeSplits([]*hdfs.Block{b}, 2)
+	if len(splits) != 2 {
+		t.Fatalf("splits = %d, want 2", len(splits))
+	}
+	seen := map[string]int{}
+	for _, s := range splits {
+		for _, r := range s.records {
+			seen[r.Key]++
+		}
+	}
+	for _, key := range []string{"a", "marker1", "marker2", "b"} {
+		if seen[key] != 1 {
+			t.Fatalf("record %q appears %d times across splits, want 1", key, seen[key])
+		}
+	}
+	// Byte position 50 belongs to the second split (int(50/50) == 1).
+	if len(splits[0].records) != 1 || splits[0].records[0].Key != "a" {
+		t.Fatalf("first split records = %v", splits[0].records)
+	}
+	if len(splits[1].records) != 3 {
+		t.Fatalf("second split records = %v", splits[1].records)
+	}
+}
+
 func TestSplitPrimaryIsLargestContribution(t *testing.T) {
 	blocks := mkBlocks([]float64{10e6, 90e6}, 1)
 	splits := makeSplits(blocks, 1)

@@ -83,6 +83,14 @@ func (c *Cluster) runMap(p *sim.Proc, tr *Tracker, t *task) {
 	}
 	parts := make([][]KV, nParts)
 	sizes := make([]float64, nParts)
+	// Seed each partition buffer from the split's record count so the first
+	// emits don't churn through growslice (mappers emitting several records
+	// per input still grow, but from a sensible floor).
+	if est := len(t.split.records)/nParts + 1; est > 1 {
+		for i := range parts {
+			parts[i] = make([]KV, 0, est)
+		}
+	}
 	emit := func(key string, value any, size float64) {
 		idx := 0
 		if job.cfg.NumReduces > 0 {
@@ -134,7 +142,12 @@ func (c *Cluster) runMap(p *sim.Proc, tr *Tracker, t *task) {
 	}
 
 	// Sort and persist the map output locally; extra merge passes when the
-	// buffer overflows.
+	// buffer overflows. Each partition is really sorted here (stable, so
+	// equal keys keep emit order) — reducers then k-way merge the sorted
+	// runs instead of re-sorting the full shuffled set.
+	for i := range parts {
+		sortKVs(parts[i])
+	}
 	vm.Exec(p, cost.SortCPUPerByte*outBytes)
 	vm.WriteDisk(p, outBytes)
 	for i := 0; i < c.spillPasses(outBytes); i++ {
@@ -156,7 +169,8 @@ func (c *Cluster) runReduce(p *sim.Proc, tr *Tracker, t *task) {
 	cost := job.cfg.Cost
 
 	fetched := make([]bool, len(job.maps))
-	var kvs []KV
+	runs := make([][]KV, 0, len(job.maps))
+	totalRecs := 0
 	var totalBytes float64
 	n := 0
 	for n < len(job.maps) {
@@ -176,7 +190,8 @@ func (c *Cluster) runReduce(p *sim.Proc, tr *Tracker, t *task) {
 			recs := mt.parts[t.index]
 			bytes := mt.partSizes[t.index]
 			c.fetchMapOutput(p, src.VM, vm, bytes)
-			kvs = append(kvs, recs...)
+			runs = append(runs, recs)
+			totalRecs += len(recs)
 			totalBytes += bytes
 			fetched[i] = true
 			n++
@@ -192,7 +207,10 @@ func (c *Cluster) runReduce(p *sim.Proc, tr *Tracker, t *task) {
 	t.shuffled = totalBytes
 
 	// Merge phase: on-disk merge passes if the fetched data outgrew the
-	// buffer, then the sort itself.
+	// buffer, then the in-memory merge itself. Each fetched run arrived
+	// key-sorted from the map-side spill, so a stable k-way merge (ties to
+	// the earliest-fetched run) replaces the full re-sort while producing
+	// the identical record order.
 	for i := 0; i < c.spillPasses(totalBytes); i++ {
 		vm.WriteDisk(p, totalBytes)
 		vm.ReadDisk(p, totalBytes)
@@ -200,7 +218,8 @@ func (c *Cluster) runReduce(p *sim.Proc, tr *Tracker, t *task) {
 	}
 	vm.Exec(p, cost.SortCPUPerByte*totalBytes)
 
-	out := groupAndReduce(kvs, job.cfg.NewReducer())
+	kvs := mergeRuns(runs, totalRecs)
+	out := reduceSorted(kvs, job.cfg.NewReducer())
 	vm.Exec(p, cost.ReduceCPUPerByte*totalBytes+cost.ReduceCPUPerRecord*float64(len(kvs)))
 
 	var outBytes float64

@@ -40,6 +40,10 @@ type ClosingMapper interface {
 
 // Reducer folds all values of one key into output records. Combiners are
 // Reducers run on map-side partial groups.
+//
+// As in Hadoop's value iterator, the values slice is scratch owned by the
+// engine and reused for the next key group: a Reducer must copy it (or the
+// values it needs) if it retains anything past the Reduce call.
 type Reducer interface {
 	Reduce(key string, values []any, emit Emit)
 }

@@ -13,7 +13,11 @@ type FairShare struct {
 	capacity  float64 // total work units per second
 	perJobCap float64 // per-job max rate; 0 means uncapped
 
-	jobs       map[*fsJob]struct{}
+	// Jobs are kept in submission order (a slice, not a map): progress
+	// integration, water-filling and completion firing must walk them in a
+	// reproducible order or floating-point accumulation and wakeup order
+	// vary run to run.
+	jobs       []*fsJob
 	lastUpdate Time
 	timer      *Timer
 
@@ -40,7 +44,6 @@ func NewFairShare(e *Engine, name string, capacity, perJobCap float64) *FairShar
 		name:       name,
 		capacity:   capacity,
 		perJobCap:  perJobCap,
-		jobs:       make(map[*fsJob]struct{}),
 		lastUpdate: e.now,
 		createdAt:  e.now,
 	}
@@ -58,7 +61,7 @@ func (f *FairShare) Load() int { return len(f.jobs) }
 // Utilization returns the instantaneous fraction of capacity in use.
 func (f *FairShare) Utilization() float64 {
 	total := 0.0
-	for j := range f.jobs {
+	for _, j := range f.jobs {
 		total += j.rate
 	}
 	return total / f.capacity
@@ -106,7 +109,7 @@ func (f *FairShare) Submit(work, weight float64) *Done {
 	}
 	f.advance()
 	j := &fsJob{remaining: work, weight: weight, done: NewDone(f.engine)}
-	f.jobs[j] = struct{}{}
+	f.jobs = append(f.jobs, j)
 	f.reschedule()
 	return j.done
 }
@@ -118,7 +121,7 @@ func (f *FairShare) advance() {
 		f.lastUpdate = f.engine.now
 		return
 	}
-	for j := range f.jobs {
+	for _, j := range f.jobs {
 		served := j.rate * dt
 		if served > j.remaining {
 			served = j.remaining
@@ -138,10 +141,8 @@ func (f *FairShare) recomputeRates() {
 		return
 	}
 	residual := f.capacity
-	active := make([]*fsJob, 0, len(f.jobs))
-	for j := range f.jobs {
-		active = append(active, j)
-	}
+	active := make([]*fsJob, len(f.jobs))
+	copy(active, f.jobs)
 	for len(active) > 0 {
 		var wsum float64
 		for _, j := range active {
@@ -182,19 +183,26 @@ func (f *FairShare) reschedule() {
 		f.timer = nil
 	}
 	// Retire finished jobs first (including any that would complete within
-	// one minimum tick at their current rate).
-	for j := range f.jobs {
+	// one minimum tick at their current rate), firing done latches in
+	// submission order and compacting the rest in place.
+	live := f.jobs[:0]
+	for _, j := range f.jobs {
 		if j.remaining <= fsEps || j.remaining <= j.rate*fsMinTick {
-			delete(f.jobs, j)
 			j.done.Fire()
+			continue
 		}
+		live = append(live, j)
 	}
+	for i := len(live); i < len(f.jobs); i++ {
+		f.jobs[i] = nil // release retired jobs to the GC
+	}
+	f.jobs = live
 	if len(f.jobs) == 0 {
 		return
 	}
 	f.recomputeRates()
 	minT := Forever
-	for j := range f.jobs {
+	for _, j := range f.jobs {
 		if j.rate <= 0 {
 			continue
 		}

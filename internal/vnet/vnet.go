@@ -84,10 +84,14 @@ func (f *Flow) Rate() float64 { return f.rate }
 func (f *Flow) Remaining() float64 { return f.remaining }
 
 // Fabric owns all links and active flows and performs rate allocation.
+// Active flows are kept in start order (a slice, not a map): rate
+// allocation, retirement and completion-event firing must all walk them in
+// a reproducible order, or floating-point tie-breaks and done-latch wakeup
+// order — and with them the whole simulation — vary run to run.
 type Fabric struct {
 	engine     *sim.Engine
 	links      []*Link
-	flows      map[*Flow]struct{}
+	flows      []*Flow
 	timer      *sim.Timer
 	lastUpdate sim.Time
 
@@ -96,10 +100,7 @@ type Fabric struct {
 
 // NewFabric returns an empty fabric bound to e.
 func NewFabric(e *sim.Engine) *Fabric {
-	return &Fabric{
-		engine: e,
-		flows:  make(map[*Flow]struct{}),
-	}
+	return &Fabric{engine: e}
 }
 
 // Engine returns the simulation engine.
@@ -165,7 +166,7 @@ func (f *Fabric) StartFlow(name string, path []*Link, bytes float64) *Flow {
 		return fl
 	}
 	f.advance()
-	f.flows[fl] = struct{}{}
+	f.flows = append(f.flows, fl)
 	f.reschedule()
 	return fl
 }
@@ -200,7 +201,7 @@ func (f *Fabric) advance() {
 	if dt <= 0 {
 		return
 	}
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		moved := fl.rate * dt
 		if moved > fl.remaining {
 			moved = fl.remaining
@@ -225,7 +226,7 @@ func (f *Fabric) recomputeRates() {
 	}
 	residual := make(map[*Link]float64, len(f.links))
 	crossing := make(map[*Link]int, len(f.links))
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		fl.frozen = false
 		for _, l := range fl.path {
 			if _, ok := residual[l]; !ok {
@@ -236,10 +237,13 @@ func (f *Fabric) recomputeRates() {
 	}
 	unfrozen := len(f.flows)
 	for unfrozen > 0 {
-		// Find the tightest link: smallest residual fair share.
+		// Find the tightest link: smallest residual fair share. Scan f.links
+		// (creation order) rather than the crossing map so that exact
+		// floating-point ties always resolve to the same link.
 		var bottleneck *Link
 		best := sim.Forever
-		for l, n := range crossing {
+		for _, l := range f.links {
+			n := crossing[l]
 			if n == 0 {
 				continue
 			}
@@ -252,7 +256,7 @@ func (f *Fabric) recomputeRates() {
 			break
 		}
 		// Freeze every unfrozen flow crossing the bottleneck at that share.
-		for fl := range f.flows {
+		for _, fl := range f.flows {
 			if fl.frozen {
 				continue
 			}
@@ -296,10 +300,11 @@ func (f *Fabric) reschedule() {
 		f.timer.Cancel()
 		f.timer = nil
 	}
-	for fl := range f.flows {
-		// Retire flows that are done or would finish within one tick.
+	// Retire flows that are done or would finish within one tick, firing
+	// their done latches in start order and compacting the rest in place.
+	live := f.flows[:0]
+	for _, fl := range f.flows {
 		if fl.remaining <= flowEps || fl.remaining <= fl.rate*minTick {
-			delete(f.flows, fl)
 			// Last byte leaves now; it arrives after path propagation.
 			lat := pathLatency(fl.path)
 			if lat > 0 {
@@ -307,8 +312,14 @@ func (f *Fabric) reschedule() {
 			} else {
 				fl.done.Fire()
 			}
+			continue
 		}
+		live = append(live, fl)
 	}
+	for i := len(live); i < len(f.flows); i++ {
+		f.flows[i] = nil // release retired flows to the GC
+	}
+	f.flows = live
 	if len(f.flows) == 0 {
 		for _, l := range f.links {
 			l.inUse = 0
@@ -317,7 +328,7 @@ func (f *Fabric) reschedule() {
 	}
 	f.recomputeRates()
 	minT := sim.Forever
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		if fl.rate <= 0 {
 			continue
 		}

@@ -38,14 +38,15 @@ func WordcountJob(input, output string, reduces int, combiner bool) mapreduce.Jo
 		NewMapper: func() mapreduce.Mapper {
 			return mapreduce.MapperFunc(func(_ string, value any, emit mapreduce.Emit) {
 				line := value.(datasets.Line)
-				words := strings.Fields(line.Text)
+				n := countWords(line.Text)
+				if n == 0 {
+					return
+				}
 				// Hadoop's wordcount map output is ~1.7x the input volume
 				// (Text word + IntWritable per token); each real token
 				// carries its share.
-				per := line.Bytes / float64(len(words)) * 1.7
-				for _, w := range words {
-					emit(w, 1, per)
-				}
+				per := line.Bytes / float64(n) * 1.7
+				eachWord(line.Text, func(w string) { emit(w, 1, per) })
 			})
 		},
 		NewReducer: func() mapreduce.Reducer {
@@ -65,6 +66,58 @@ func WordcountJob(input, output string, reduces int, combiner bool) mapreduce.Jo
 		cfg.NewCombiner = cfg.NewReducer
 	}
 	return cfg
+}
+
+// asciiSpace mirrors strings.Fields' ASCII space set.
+var asciiSpace = [256]bool{'\t': true, '\n': true, '\v': true, '\f': true, '\r': true, ' ': true}
+
+// countWords returns the number of space-separated words in s: the count
+// strings.Fields would produce, without building the slice. Non-ASCII input
+// falls back to strings.Fields for exact Unicode semantics.
+func countWords(s string) int {
+	n := 0
+	inWord := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			return len(strings.Fields(s))
+		}
+		if asciiSpace[c] {
+			inWord = false
+		} else if !inWord {
+			inWord = true
+			n++
+		}
+	}
+	return n
+}
+
+// eachWord calls fn for every space-separated word of s. Words are
+// substrings sharing s's storage, so tokenising a line allocates neither the
+// []string strings.Fields builds nor any byte copies. Falls back to
+// strings.Fields for non-ASCII input to keep Unicode semantics.
+func eachWord(s string, fn func(string)) {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			for _, w := range strings.Fields(s) {
+				fn(w)
+			}
+			return
+		}
+	}
+	i := 0
+	for i < len(s) {
+		for i < len(s) && asciiSpace[s[i]] {
+			i++
+		}
+		start := i
+		for i < len(s) && !asciiSpace[s[i]] {
+			i++
+		}
+		if i > start {
+			fn(s[start:i])
+		}
+	}
 }
 
 // WordcountResult is one Wordcount benchmark run.

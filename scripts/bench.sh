@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# bench.sh — run the data-plane acceptance benchmarks and record the results
+# as JSON (default BENCH_PR1.json in the repo root).
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   COUNT      repetitions per benchmark (default 5); the JSON records the
+#              minimum ns/op across repetitions, the most noise-robust
+#              statistic on a shared machine
+#   BENCHTIME  passed to -benchtime (default 200x: fixed iteration counts so
+#              every repetition does identical work)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR1.json}
+COUNT=${COUNT:-5}
+BENCHTIME=${BENCHTIME:-200x}
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+run() { # run <package> <bench regex>
+  go test -run '^$' -bench "$2" -benchtime "$BENCHTIME" -count "$COUNT" "$1" 2>/dev/null |
+    grep -E '^Benchmark' >>"$TMP" || true
+}
+
+echo "running macro benchmarks (engine throughput, Fig6 canopy, Fig4a terasort)..." >&2
+run . 'BenchmarkEngineThroughput$'
+run . 'BenchmarkFig6Clustering/canopy-16nodes'
+run . 'BenchmarkFig4aTeraSort'
+
+echo "running data-plane micro benchmarks..." >&2
+run ./internal/mapreduce 'BenchmarkReduceMergeVsSort|BenchmarkSortKVs|BenchmarkDefaultPartition'
+run ./internal/clustering 'BenchmarkSquaredEuclidean60|BenchmarkManhattan60|BenchmarkCosine60|BenchmarkNearestSquared'
+
+# Fold repetitions into min ns/op per benchmark and emit JSON (portable awk:
+# the first pass computes minima, sort orders the names, the second pass
+# assembles the JSON).
+awk '
+  {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+    ns = $3
+    if (!(name in best) || ns < best[name]) best[name] = ns
+    for (i = 4; i < NF; i++)
+      if ($(i + 1) == "vsec" && !(name in vsec)) vsec[name] = $i
+  }
+  END {
+    for (name in best)
+      print name, best[name], (name in vsec ? vsec[name] : "-")
+  }
+' "$TMP" | sort | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+                     -v benchtime="$BENCHTIME" -v count="$COUNT" '
+  BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"count\": %d,\n  \"stat\": \"min ns/op\",\n  \"results\": {\n", date, benchtime, count
+    sep = ""
+  }
+  {
+    printf "%s    \"%s\": {\"ns_per_op\": %s", sep, $1, $2
+    if ($3 != "-") printf ", \"vsec\": %s", $3
+    printf "}"
+    sep = ",\n"
+  }
+  END { print "\n  }\n}" }
+' >"$OUT"
+
+echo "wrote $OUT" >&2
