@@ -1,0 +1,83 @@
+// Command vhlint runs vhadoop's custom static-analysis suite over the
+// repository. It is the project's equivalent of a go/analysis
+// multichecker driver, built on the standard library only, and prints
+// diagnostics in go vet's file:line:col format so editors and CI parse
+// them the same way.
+//
+// Usage:
+//
+//	go run ./cmd/vhlint [-list] [packages...]
+//
+// Patterns follow go tooling conventions: "./..." (the default) walks
+// every package under the current module; "./internal/sim" names one
+// package. The exit status is 0 when the tree is clean and 1 when any
+// analyzer reports a diagnostic, so CI can gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vhadoop/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vhlint [-list] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := lint.Expand(wd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	nDiags := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir, "")
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range lint.RunAll(pkg) {
+			nDiags++
+			fmt.Printf("%s: %s: %s\n", relPos(wd, d), d.Analyzer, d.Message)
+		}
+	}
+	if nDiags > 0 {
+		fmt.Fprintf(os.Stderr, "vhlint: %d diagnostic(s)\n", nDiags)
+		os.Exit(1)
+	}
+}
+
+func relPos(wd string, d lint.Diagnostic) string {
+	p := d.Pos
+	if rel, err := filepath.Rel(wd, p.Filename); err == nil && !filepath.IsAbs(rel) {
+		p.Filename = rel
+	}
+	return p.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vhlint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatAccum flags floating-point accumulation whose summation order
+// depends on map iteration — the exact bug class behind the pre-PR-1
+// fig4a TeraSort drift: FP addition is not associative, so summing in
+// map order makes the last few ulps (and every tie-break downstream of
+// them) vary run to run.
+//
+// It reports x += e, x -= e, x *= e, x /= e, and x = x ± e where x has
+// floating-point type, x is declared outside the enclosing map range,
+// and the write is not a distinct-slot update keyed by the range key.
+// maporder usually flags the surrounding loop too; the two checks are
+// suppressed independently so an allowed map range still cannot hide a
+// float accumulation.
+var FloatAccum = &Analyzer{
+	Name:      "floataccum",
+	Doc:       "flag float accumulation ordered by map iteration",
+	AppliesTo: determinismCritical,
+	Run:       runFloatAccum,
+}
+
+func runFloatAccum(pass *Pass) {
+	walkStack(pass, func(n ast.Node, stack []ast.Node) bool {
+		rs, isMap := mapRangeStmt(pass, n)
+		if !isMap {
+			return true
+		}
+		keyObj := definedObj(pass, rs.Key)
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			a, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch a.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(a.Lhs) == 1 && floatAccumulator(pass, a.Lhs[0], rs, keyObj) {
+					pass.Reportf(a.Pos(), "float accumulation into %s ordered by map iteration: FP addition is not associative, so the result varies run to run", types.ExprString(a.Lhs[0]))
+				}
+			case token.ASSIGN:
+				for i, lhs := range a.Lhs {
+					if i < len(a.Rhs) && selfFloatUpdate(pass, lhs, a.Rhs[i]) && floatAccumulator(pass, lhs, rs, keyObj) {
+						pass.Reportf(a.Pos(), "float accumulation into %s ordered by map iteration: FP addition is not associative, so the result varies run to run", types.ExprString(lhs))
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// floatAccumulator reports whether lhs is a float-typed location that
+// carries state across iterations of rs: declared outside the loop
+// body, and (for indexed writes) not keyed by the range key.
+func floatAccumulator(pass *Pass, lhs ast.Expr, rs *ast.RangeStmt, keyObj types.Object) bool {
+	tv, ok := pass.TypesInfo.Types[lhs]
+	if !ok || !isFloatType(tv.Type) {
+		return false
+	}
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := identObj(pass, e)
+		if obj == nil {
+			return false
+		}
+		// Declared inside the loop body: per-iteration scratch, fine.
+		return obj.Pos() < rs.Body.Pos() || obj.Pos() > rs.Body.End()
+	case *ast.IndexExpr:
+		// m2[k] += v under the range key touches a distinct slot per
+		// iteration; any other index is a shared accumulator.
+		return keyObj == nil || !usesObj(pass, e.Index, keyObj)
+	case *ast.SelectorExpr:
+		return true // field of some longer-lived struct
+	default:
+		return true
+	}
+}
+
+// selfFloatUpdate matches x = x + e / x = x - e / x = e + x forms.
+func selfFloatUpdate(pass *Pass, lhs, rhs ast.Expr) bool {
+	be, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.ADD && be.Op != token.SUB && be.Op != token.MUL && be.Op != token.QUO) {
+		return false
+	}
+	obj := identObj(pass, lhs)
+	if obj == nil {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		obj = pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil {
+			return false
+		}
+	}
+	return usesObj(pass, be.X, obj) || usesObj(pass, be.Y, obj)
+}

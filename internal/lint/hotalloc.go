@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc guards the zero-allocation discipline of functions annotated
+// //vhlint:hot (the data-plane fast paths: partitioner, k-way merge,
+// tokenizer, distance kernels). Inside a hot function it flags:
+//
+//   - any fmt.* call — every argument is boxed into an interface and
+//     Sprintf-style formatting allocates its result;
+//   - string concatenation with + inside a loop — each iteration
+//     allocates an intermediate string;
+//   - escaping closures: a func literal that captures enclosing
+//     variables and is passed to a call, returned, or stored in a
+//     non-local — its context escapes to the heap. A closure assigned
+//     to a local variable and only called directly stays on the stack
+//     and is not flagged.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation sources inside //vhlint:hot functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	hot := hotFuncs(pass)
+	walkStack(pass, func(n ast.Node, stack []ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || !hot[fd] {
+			return true
+		}
+		checkHotFunc(pass, fd)
+		return false // already checked the whole body
+	})
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	// Closures bound to local variables (fn := func(...){...}) stay on
+	// the stack only while every use is a direct call fn(...). Collect
+	// them first, then flag any use that lets the value escape.
+	localClosures := make(map[types.Object]*ast.FuncLit)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range a.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok || i >= len(a.Lhs) || !capturesOuter(pass, lit) {
+				continue
+			}
+			if obj := definedObj(pass, a.Lhs[i]); obj != nil {
+				localClosures[obj] = lit
+			} else if obj := identObj(pass, a.Lhs[i]); obj != nil {
+				localClosures[obj] = lit
+			}
+		}
+		return true
+	})
+	reported := make(map[*ast.FuncLit]bool)
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if lit := localClosures[pass.TypesInfo.Uses[id]]; lit != nil && !reported[lit] && !directCallUse(stack, id) {
+				reported[lit] = true
+				pass.Reportf(lit.Pos(), "closure %s in hot function %s escapes (used as a value, not just called), so its capture context is heap-allocated", id.Name, fd.Name.Name)
+			}
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, e); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "fmt" && isPackageLevelFunc(fn) {
+				pass.Reportf(e.Pos(), "fmt.%s in hot function %s allocates (interface boxing + formatted result)", fn.Name(), fd.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && insideLoop(stack) {
+				if tv, ok := pass.TypesInfo.Types[e]; ok && isStringType(tv.Type) {
+					pass.Reportf(e.Pos(), "string concatenation in a loop inside hot function %s allocates per iteration; use a byte slice or index arithmetic", fd.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			if closureEscapes(stack) && capturesOuter(pass, e) {
+				pass.Reportf(e.Pos(), "escaping closure in hot function %s allocates its capture context on the heap", fd.Name.Name)
+				stack = append(stack, n)
+				return true
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// directCallUse reports whether the identifier at the top of the walk
+// is the function position of a call (fn(...)) — the one use of a local
+// closure that does not force its context to escape.
+func directCallUse(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == id
+}
+
+func insideLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// closureEscapes reports whether the func literal whose ancestors are
+// stack is in an escaping position: a call argument, a return value, a
+// composite literal element, or the right-hand side of anything other
+// than a plain local-variable assignment.
+func closureEscapes(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return true
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.CallExpr:
+		return true // argument to a call (or immediately invoked via another path)
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+		return true
+	case *ast.AssignStmt:
+		// fn := func(...) {...} with a plain identifier target stays
+		// stack-allocated when only called locally; anything fancier
+		// (struct field, map slot, global) escapes.
+		for i, rhs := range parent.Rhs {
+			if _, ok := rhs.(*ast.FuncLit); ok && i < len(parent.Lhs) {
+				if _, isIdent := parent.Lhs[i].(*ast.Ident); !isIdent {
+					return true
+				}
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// capturesOuter reports whether the func literal references a variable
+// declared outside itself (a capture). Capture-free literals carry no
+// context and cost nothing even when they escape.
+func capturesOuter(pass *Pass, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pkg() == nil || obj.Parent() == nil {
+			return true
+		}
+		// A use whose definition lies outside the literal is a capture
+		// (package-level objects excepted: they are not captured state).
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			if obj.Parent() != obj.Pkg().Scope() {
+				captured = true
+				return false
+			}
+		}
+		return true
+	})
+	return captured
+}

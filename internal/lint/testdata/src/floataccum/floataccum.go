@@ -1,0 +1,111 @@
+// Package floataccum exercises the floataccum analyzer: floating-point
+// accumulation ordered by map iteration is flagged; per-iteration
+// scratch, keyed slots, integer sums, and slice loops are not.
+package floataccum
+
+type stats struct {
+	total float64
+	count int
+}
+
+// sumCompound is the canonical violation: += into a float declared
+// outside the map range.
+func sumCompound(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulation into total"
+	}
+	return total
+}
+
+// sumExplicit spells the same accumulation as x = x + e.
+func sumExplicit(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want "float accumulation into sum"
+	}
+	return sum
+}
+
+// sumField accumulates into a struct field, which always outlives the
+// loop.
+func sumField(m map[string]float64, s *stats) {
+	for _, v := range m {
+		s.total += v // want "float accumulation into s.total"
+	}
+}
+
+// sumSharedSlot folds every value into one fixed slot: order-dependent.
+func sumSharedSlot(m map[string]float64, acc []float64) {
+	for _, v := range m {
+		acc[0] += v // want "float accumulation into acc"
+	}
+}
+
+// product is order-dependent for the same non-associativity reason.
+func product(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want "float accumulation into p"
+	}
+	return p
+}
+
+// scratch declares its accumulator inside the body: per-iteration state.
+func scratch(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		out[k] = local
+	}
+	return out
+}
+
+// keyedSlot writes a distinct slot per iteration: one update per slot
+// per sweep, so visit order cannot reorder any slot's sum.
+func keyedSlot(src map[string]float64, dst map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// intSum accumulates integers: exact arithmetic commutes.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sliceSum iterates a slice, whose order is deterministic.
+func sliceSum(vs []float64) float64 {
+	total := 0.0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+// annotated carries a justified allow and is suppressed.
+func annotated(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//vhlint:allow floataccum -- test fixture: result only compared against a coarse threshold
+		total += v
+	}
+	return total
+}
+
+// staleAllow annotates an integer sum that floataccum never flags.
+func staleAllow(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		//vhlint:allow floataccum -- test fixture: integer sum needs no allow // want "stale //vhlint:allow floataccum"
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+// Package hotalloc exercises the hotalloc analyzer: functions annotated
+// //vhlint:hot must not allocate via fmt, loop string concatenation, or
+// escaping closures. Unannotated functions are never checked.
+package hotalloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// hotSprintf formats inside a hot path.
+//
+//vhlint:hot
+func hotSprintf(id int) string {
+	return fmt.Sprintf("task-%d", id) // want "fmt.Sprintf in hot function hotSprintf"
+}
+
+// hotConcatLoop builds a string with + per iteration.
+//
+//vhlint:hot
+func hotConcatLoop(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out = out + "," + p // want "string concatenation in a loop" "string concatenation in a loop"
+	}
+	return out
+}
+
+// hotConcatOnce concatenates outside any loop: one allocation, allowed.
+//
+//vhlint:hot
+func hotConcatOnce(a, b string) string {
+	return a + b
+}
+
+// hotEscapingClosure hands a capturing closure to sort, which forces
+// the capture context onto the heap.
+//
+//vhlint:hot
+func hotEscapingClosure(xs []int, limit int) {
+	sort.Slice(xs, func(i, j int) bool { // want "escaping closure in hot function"
+		return xs[i]%limit < xs[j]%limit
+	})
+}
+
+// hotLocalClosure keeps the closure local and only calls it directly:
+// the context stays on the stack.
+//
+//vhlint:hot
+func hotLocalClosure(xs []int) int {
+	total := 0
+	add := func(v int) { total += v }
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+// hotValueEscape assigns the closure locally but later passes it as a
+// value, which still makes it escape.
+//
+//vhlint:hot
+func hotValueEscape(xs []int) {
+	total := 0
+	add := func(v int) { total += v } // want "escapes .used as a value"
+	apply(xs, add)
+}
+
+func apply(xs []int, fn func(int)) {
+	for _, x := range xs {
+		fn(x)
+	}
+}
+
+// coldSprintf is not annotated, so nothing here is flagged.
+func coldSprintf(id int) string {
+	return fmt.Sprintf("task-%d", id)
+}
+
+// hotAnnotatedAllow documents a deliberate one-off allocation.
+//
+//vhlint:hot
+func hotAnnotatedAllow(xs []int) {
+	//vhlint:allow hotalloc -- test fixture: one comparator closure per call, amortised
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// hotStaleAllow annotates a line that allocates nothing.
+//
+//vhlint:hot
+func hotStaleAllow(xs []int) int {
+	n := 0
+	//vhlint:allow hotalloc -- test fixture: plain loop needs no allow // want "stale //vhlint:allow hotalloc"
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

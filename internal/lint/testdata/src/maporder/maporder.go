@@ -1,0 +1,165 @@
+// Package maporder exercises the maporder analyzer: nondeterministic
+// map iteration is flagged unless the loop body is provably
+// order-insensitive or carries a justified allow annotation.
+package maporder
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// floatAccumulation is the classic violation: FP summation in map order.
+func floatAccumulation(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "iteration order is nondeterministic"
+		total += v
+	}
+	return total
+}
+
+// unsortedCollect appends map keys but never sorts them.
+func unsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// firstKey returns whichever key the runtime yields first.
+func firstKey(m map[string]int) string {
+	for k := range m { // want "iteration order is nondeterministic"
+		return k
+	}
+	return ""
+}
+
+// tieBreakByOrder keeps the first maximal element it happens to visit.
+func tieBreakByOrder(m map[string]int) string {
+	best, bestN := "", -1
+	for k, n := range m { // want "iteration order is nondeterministic"
+		if n > bestN {
+			best, bestN = k, n
+		}
+	}
+	return best
+}
+
+// sortedCollect is the canonical fix: collect then sort.
+func sortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// model shows the sorted-sink pattern through a struct field.
+type model struct {
+	labels []string
+}
+
+func (mo *model) fieldSink(m map[string]int) {
+	mo.labels = mo.labels[:0]
+	for l := range m {
+		mo.labels = append(mo.labels, l)
+	}
+	sort.Strings(mo.labels)
+}
+
+// counting only accumulates integers: addition commutes, order is moot.
+func counting(m map[string]int) (n, sum int) {
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+// distinctWrites hits a distinct slot of another map per iteration.
+func distinctWrites(src map[string]int, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+// keyedFloatSlot accumulates floats, but each slot sees exactly one
+// update per sweep, so visit order cannot reorder any slot's sum.
+func keyedFloatSlot(src map[string]float64, dst map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// drain deletes from the ranged map itself.
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// existence only returns constants.
+func existence(m map[string]int) bool {
+	for _, v := range m {
+		if v > 10 {
+			return true
+		}
+	}
+	return false
+}
+
+// flagSet writes a constant boolean: idempotent under reordering.
+func flagSet(m map[string]int) bool {
+	saw := false
+	for _, v := range m {
+		if v < 0 {
+			saw = true
+		}
+	}
+	return saw
+}
+
+// sortLocalValue sorts a per-iteration local, then sinks into a slice
+// that is itself sorted after the loop.
+func sortLocalValue(groups map[int][]int) [][]int {
+	var out [][]int
+	for _, members := range groups {
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// sortedKeysIter wraps the maps.Keys iterator in slices.Sorted.
+func sortedKeysIter(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// rawKeysIter consumes the iterator unsorted.
+func rawKeysIter(m map[string]int) []string {
+	return slices.Collect(maps.Keys(m)) // want "nondeterministic order"
+}
+
+// annotated carries a justified allow and is suppressed.
+func annotated(m map[string]float64) float64 {
+	total := 0.0
+	//vhlint:allow maporder -- test fixture: summation result is fed to an order-insensitive consumer
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// staleAllow annotates a loop that is already order-insensitive, so the
+// annotation itself is reported.
+func staleAllow(m map[string]int) int {
+	n := 0
+	//vhlint:allow maporder -- test fixture: nothing here needs suppressing // want "stale //vhlint:allow maporder"
+	for range m {
+		n++
+	}
+	return n
+}

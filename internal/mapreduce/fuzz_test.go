@@ -1,0 +1,189 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"vhadoop/internal/hdfs"
+)
+
+// The fuzzers below attack the two pure data-plane transforms whose
+// invariants the whole shuffle rests on:
+//
+//   - mergeRuns/merge2: merging key-sorted runs must be byte-identical
+//     to a stable sort over their concatenation (ties to the earliest
+//     run, within-run order preserved);
+//   - makeSplits: cutting blocks into map inputs must conserve every
+//     byte and every record, in order, no matter how awkward the block
+//     sizes or map count.
+//
+// Both decode raw fuzz bytes into structured inputs with a tiny key
+// alphabet, so the fuzzer hits key collisions (the tie-break paths)
+// constantly instead of almost never.
+
+// decodeRuns turns fuzz bytes into numRuns key-sorted runs. Each input
+// byte becomes one record; the key is drawn from an 8-letter alphabet
+// to force cross-run ties, and the Value carries the record's global
+// arrival index so stability violations are observable.
+func decodeRuns(data []byte, numRuns int) [][]KV {
+	runs := make([][]KV, numRuns)
+	for i, b := range data {
+		r := int(b>>3) % numRuns
+		runs[r] = append(runs[r], KV{
+			Key:   string(rune('a' + b%8)),
+			Value: i,
+			Size:  1,
+		})
+	}
+	for _, run := range runs {
+		sortKVs(run)
+	}
+	return runs
+}
+
+func FuzzMergeRuns(f *testing.F) {
+	f.Add([]byte(nil), byte(2))
+	f.Add([]byte("the quick brown fox"), byte(3))
+	f.Add([]byte{0, 8, 16, 24, 32, 40, 48, 56, 7, 15}, byte(4))
+	f.Add([]byte{255, 255, 255, 0, 0, 0}, byte(1))
+	f.Add([]byte("aaaaaaaabbbbbbbb"), byte(7))
+	f.Fuzz(func(t *testing.T, data []byte, numRunsRaw byte) {
+		numRuns := int(numRunsRaw)%8 + 1
+		runs := decodeRuns(data, numRuns)
+
+		// Reference: stable sort over the concatenation of the sorted
+		// runs in run order. mergeRuns documents byte-identical output.
+		var want []KV
+		for _, run := range runs {
+			want = append(want, run...)
+		}
+		want = append([]KV(nil), want...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+
+		got := mergeRuns(runs, 0)
+		if len(got) != len(want) {
+			t.Fatalf("mergeRuns returned %d records, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Key != want[i].Key || got[i].Value != want[i].Value {
+				t.Fatalf("record %d: got {%s %v}, want {%s %v} (tie-break or ordering bug)",
+					i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
+			}
+		}
+	})
+}
+
+func FuzzSortKVs(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add([]byte("zyxwvut"))
+	f.Add([]byte("aabbaabb"))
+	f.Add([]byte{1, 1, 1, 1, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kvs := make([]KV, len(data))
+		for i, b := range data {
+			kvs[i] = KV{Key: string(rune('a' + b%4)), Value: i, Size: 1}
+		}
+		want := append([]KV(nil), kvs...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+
+		sortKVs(kvs)
+		for i := range kvs {
+			if kvs[i].Key != want[i].Key || kvs[i].Value != want[i].Value {
+				t.Fatalf("record %d: got {%s %v}, want {%s %v} (sortKVs must be stable)",
+					i, kvs[i].Key, kvs[i].Value, want[i].Key, want[i].Value)
+			}
+		}
+	})
+}
+
+// decodeBlocks turns fuzz bytes into HDFS blocks: each byte yields one
+// block whose size is derived from its high bits and whose records
+// (0-3 of them, one possibly zero-sized) split the block's bytes.
+func decodeBlocks(data []byte) []*hdfs.Block {
+	var blocks []*hdfs.Block
+	recID := 0
+	for i, b := range data {
+		size := float64(int(b>>2)+1) * 1e5
+		nrec := int(b % 4)
+		blk := &hdfs.Block{ID: i + 1, Index: i, Size: size}
+		for r := 0; r < nrec; r++ {
+			recID++
+			rsz := size / float64(nrec)
+			if r == 0 && b%8 >= 4 {
+				rsz = 0 // zero-size record: boundary landmine
+			}
+			blk.Records = append(blk.Records, hdfs.Record{
+				Key:  fmt.Sprintf("r%d", recID),
+				Size: rsz,
+			})
+		}
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}
+
+func FuzzMakeSplits(f *testing.F) {
+	f.Add([]byte(nil), byte(0))
+	f.Add([]byte{10, 20, 30}, byte(0))
+	f.Add([]byte{255}, byte(7))
+	f.Add([]byte{4, 5, 6, 7}, byte(19))
+	f.Add([]byte{100, 100, 100, 100, 100}, byte(3))
+	f.Fuzz(func(t *testing.T, data []byte, numMapsRaw byte) {
+		if len(data) > 32 {
+			data = data[:32]
+		}
+		blocks := decodeBlocks(data)
+		if len(blocks) == 0 {
+			return
+		}
+		numMaps := int(numMapsRaw) % 24 // 0 = one split per block
+
+		var wantBytes float64
+		var wantRecs []string
+		for _, b := range blocks {
+			wantBytes += b.Size
+			for _, r := range b.Records {
+				wantRecs = append(wantRecs, r.Key)
+			}
+		}
+
+		splits := makeSplits(blocks, numMaps)
+
+		wantSplits := numMaps
+		if numMaps == 0 {
+			wantSplits = len(blocks)
+		}
+		if len(splits) != wantSplits {
+			t.Fatalf("got %d splits, want %d", len(splits), wantSplits)
+		}
+
+		var gotBytes float64
+		var gotRecs []string
+		for i, s := range splits {
+			for _, part := range s.parts {
+				if part.bytes < 0 {
+					t.Fatalf("split %d carries a negative byte range %v", i, part.bytes)
+				}
+				gotBytes += part.bytes
+			}
+			for _, r := range s.records {
+				gotRecs = append(gotRecs, r.Key)
+			}
+		}
+		if diff := gotBytes - wantBytes; diff > 1 || diff < -1 {
+			t.Fatalf("splits cover %v bytes, blocks hold %v (lost or invented bytes)", gotBytes, wantBytes)
+		}
+		if len(gotRecs) != len(wantRecs) {
+			t.Fatalf("splits carry %d records, blocks hold %d (lost or duplicated records)", len(gotRecs), len(wantRecs))
+		}
+		// Records must keep their global order: split i's records all
+		// precede split i+1's, and within a split they stay in block order.
+		for i := range gotRecs {
+			if gotRecs[i] != wantRecs[i] {
+				t.Fatalf("record %d: got %s, want %s (split reordered records)", i, gotRecs[i], wantRecs[i])
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Time is a point on (or span of) the virtual clock, in seconds.
@@ -20,6 +21,7 @@ type Engine struct {
 	now     Time
 	events  eventHeap
 	seq     uint64
+	procSeq uint64 // spawn-order stamp, so teardown order is reproducible
 	rng     *rand.Rand
 	handoff chan struct{}  // processes signal the run loop here
 	procs   map[*Proc]bool // all live processes
@@ -82,11 +84,13 @@ func (e *Engine) nextSeq() uint64 {
 // current virtual time. fn runs in its own goroutine but under the engine's
 // strict hand-off discipline, so it may freely touch simulation state.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.procSeq++
 	p := &Proc{
-		engine: e,
-		name:   name,
-		resume: make(chan struct{}),
-		done:   NewDone(e),
+		engine:   e,
+		name:     name,
+		spawnSeq: e.procSeq,
+		resume:   make(chan struct{}),
+		done:     NewDone(e),
 	}
 	e.procs[p] = true
 	e.At(e.now, func() { p.start(fn) })
@@ -95,11 +99,13 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // SpawnAfter is Spawn with a start delay.
 func (e *Engine) SpawnAfter(d Time, name string, fn func(p *Proc)) *Proc {
+	e.procSeq++
 	p := &Proc{
-		engine: e,
-		name:   name,
-		resume: make(chan struct{}),
-		done:   NewDone(e),
+		engine:   e,
+		name:     name,
+		spawnSeq: e.procSeq,
+		resume:   make(chan struct{}),
+		done:     NewDone(e),
 	}
 	e.procs[p] = true
 	e.After(d, func() { p.start(fn) })
@@ -171,7 +177,15 @@ func (e *Engine) Shutdown() {
 	if e.current != nil {
 		panic("sim: Shutdown called from process context")
 	}
+	// Kill in spawn order: map iteration order would make the unwind
+	// sequence (and anything its deferred cleanup touches) vary run to
+	// run.
+	live := make([]*Proc, 0, len(e.procs))
 	for p := range e.procs {
+		live = append(live, p)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].spawnSeq < live[j].spawnSeq })
+	for _, p := range live {
 		if p.started && !p.terminated {
 			p.killed = true
 			e.dispatch(p)

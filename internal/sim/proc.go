@@ -13,6 +13,7 @@ func (e errKilled) Error() string { return "sim: process killed: " + e.name }
 type Proc struct {
 	engine     *Engine
 	name       string
+	spawnSeq   uint64 // creation order, the engine's teardown order
 	resume     chan struct{}
 	done       *Done
 	started    bool

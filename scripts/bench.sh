@@ -18,6 +18,12 @@ OUT=${1:-BENCH_PR1.json}
 COUNT=${COUNT:-5}
 BENCHTIME=${BENCHTIME:-200x}
 
+# Preflight: never record numbers off a tree that violates the invariants
+# the numbers are meant to demonstrate (set SKIP_LINT=1 to bypass).
+if [[ "${SKIP_LINT:-0}" != 1 ]]; then
+  scripts/lint.sh >&2
+fi
+
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 

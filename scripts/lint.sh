@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# lint.sh — the repo's static gate: gofmt, go vet, and vhlint (the
+# determinism / hot-path invariant suite under internal/lint).
+#
+# Usage:
+#   scripts/lint.sh [packages...]   # defaults to ./...
+#
+# Exits non-zero on the first failing stage. bench.sh runs this as a
+# preflight so benchmark numbers are never recorded off a tree that
+# violates the invariants the numbers are supposed to demonstrate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PKGS=("${@:-./...}")
+
+echo "gofmt..." >&2
+unformatted=$(gofmt -l . | grep -v '^internal/lint/testdata/' || true)
+if [[ -n "$unformatted" ]]; then
+  echo "gofmt: needs formatting:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "go vet..." >&2
+go vet "${PKGS[@]}"
+
+echo "vhlint..." >&2
+go run ./cmd/vhlint "${PKGS[@]}"
