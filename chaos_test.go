@@ -1,0 +1,133 @@
+package vhadoop_test
+
+// Chaos harness regression tests: real MapReduce workloads run on the
+// fault-hardened cross-domain platform while seeded fault schedules crash
+// VMs, fail a whole machine, hang tasktrackers, degrade and partition the
+// network and stall the NFS filer. Three invariants must hold for every
+// checked-in seed:
+//
+//  1. the job completes despite the faults;
+//  2. its output is byte-identical to a fault-free run on the same
+//     platform seed (recovery must not change answers);
+//  3. the same platform seed and schedule reproduce a bit-identical
+//     event trace (faults fire off the simulation clock, so chaos runs
+//     are exactly replayable).
+//
+// Seeds are part of the regression surface: a recovery-path change that
+// makes any of them fail or diverge is a real behavioural change.
+
+import (
+	"fmt"
+	"testing"
+
+	"vhadoop/internal/faults"
+	"vhadoop/internal/faults/chaostest"
+	"vhadoop/internal/sim"
+)
+
+// chaosPlatformSeed pins the platform and data; chaos seeds vary only the
+// fault schedule.
+const chaosPlatformSeed = 42
+
+// chaosHorizon covers the whole fault-free job runtime, so generated
+// faults land while work is actually in flight.
+const chaosHorizon sim.Time = 30
+
+func runChaosSuite(t *testing.T, w chaostest.Workload, seeds []int64) {
+	t.Helper()
+	baseline, err := chaostest.Run(w, chaosPlatformSeed, faults.Schedule{})
+	if err != nil {
+		t.Fatalf("fault-free baseline: %v", err)
+	}
+	if baseline.Output == "" {
+		t.Fatal("fault-free baseline produced no output")
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sched := chaostest.GenSchedule(seed, 3, chaosHorizon)
+			if len(sched.Faults) == 0 {
+				t.Fatal("empty schedule: this seed tests nothing")
+			}
+			r1, err := chaostest.Run(w, chaosPlatformSeed, sched)
+			if err != nil {
+				t.Fatalf("job did not survive the schedule:\n%s%v", faults.EncodeString(sched), err)
+			}
+			if r1.Output != baseline.Output {
+				t.Fatalf("output differs from fault-free run (%d vs %d bytes):\n%s",
+					len(r1.Output), len(baseline.Output), faults.EncodeString(sched))
+			}
+			if len(r1.Events) < len(sched.Faults) {
+				t.Fatalf("only %d fault events recorded for %d faults", len(r1.Events), len(sched.Faults))
+			}
+			r2, err := chaostest.Run(w, chaosPlatformSeed, sched)
+			if err != nil {
+				t.Fatalf("replay failed where the first run passed: %v", err)
+			}
+			if r2.Trace != r1.Trace {
+				t.Fatalf("trace not reproducible: %d vs %d bytes\nfirst divergence: %q",
+					len(r1.Trace), len(r2.Trace), firstDiff(r1.Trace, r2.Trace))
+			}
+			if r2.End != r1.End {
+				t.Fatalf("end time not reproducible: %v vs %v", r1.End, r2.End)
+			}
+		})
+	}
+}
+
+// firstDiff returns a window around the first byte where a and b differ.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 40
+			if hi > n {
+				hi = n
+			}
+			return a[lo:hi] + " <> " + b[lo:hi]
+		}
+	}
+	return "length mismatch at common prefix"
+}
+
+func TestChaosWordcount(t *testing.T) {
+	runChaosSuite(t, chaostest.Wordcount(), []int64{1, 3, 5, 6, 9})
+}
+
+func TestChaosTeraSort(t *testing.T) {
+	runChaosSuite(t, chaostest.TeraSort(), []int64{2, 5, 12, 24})
+}
+
+// TestChaosMachineCrashRecovery pins a hand-written worst-case schedule
+// rather than a generated one: the entire second machine fails while the
+// job runs, taking half the cluster (4 VMs, their tasktrackers and
+// datanodes) with it. PM-aware triple replication plus the replication
+// monitor and tracker failure detector must carry the job to the same
+// answer.
+func TestChaosMachineCrashRecovery(t *testing.T) {
+	for _, w := range []chaostest.Workload{chaostest.Wordcount(), chaostest.TeraSort()} {
+		t.Run(w.Name, func(t *testing.T) {
+			baseline, err := chaostest.Run(w, chaosPlatformSeed, faults.Schedule{})
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			sched := faults.Schedule{Faults: []faults.Fault{
+				{At: 8, Kind: faults.KindMachCrash, Target: "pm2"},
+			}}
+			r, err := chaostest.Run(w, chaosPlatformSeed, sched)
+			if err != nil {
+				t.Fatalf("job did not survive losing pm2: %v", err)
+			}
+			if r.Output != baseline.Output {
+				t.Fatal("output differs from fault-free run after machine crash")
+			}
+		})
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"vhadoop/internal/clustering"
 	"vhadoop/internal/core"
 	"vhadoop/internal/datasets"
+	"vhadoop/internal/faults"
+	"vhadoop/internal/faults/chaostest"
 	"vhadoop/internal/mapreduce"
 	"vhadoop/internal/sim"
 	"vhadoop/internal/workloads"
@@ -112,5 +114,50 @@ func TestKMeansCentersDeterministic(t *testing.T) {
 		if r1.Assignments[i] != r2.Assignments[i] {
 			t.Fatalf("assignment %d differs: %d vs %d", i, r1.Assignments[i], r2.Assignments[i])
 		}
+	}
+}
+
+// TestFaultedRunTraceDeterministic extends the determinism guarantee to the
+// fault path: a fixed platform seed plus a fixed fault schedule must
+// reproduce a byte-identical event trace — fault firings, recoveries,
+// re-replication, tracker death and requeues included — across independent
+// runs. This is what makes a chaos failure replayable from two integers.
+func TestFaultedRunTraceDeterministic(t *testing.T) {
+	sched := faults.Schedule{Faults: []faults.Fault{
+		{At: 3, Kind: faults.KindDegrade, Target: "pm2", Duration: 6, Factor: 0.25},
+		{At: 5, Kind: faults.KindNFSStall, Target: "filer", Duration: 4, Factor: 0.5},
+		{At: 7, Kind: faults.KindVMCrash, Target: "vm05"},
+		{At: 9, Kind: faults.KindHang, Target: "vm02", Duration: 20},
+	}}
+	run := func() chaostest.Result {
+		r, err := chaostest.Run(chaostest.Wordcount(), 42, sched)
+		if err != nil {
+			t.Fatalf("faulted run failed: %v", err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+	if r1.Trace == "" {
+		t.Fatal("empty trace: nothing was exercised")
+	}
+	if r1.Trace != r2.Trace {
+		t.Fatalf("traces differ across same-seed faulted runs: %d vs %d bytes",
+			len(r1.Trace), len(r2.Trace))
+	}
+	if r1.Output != r2.Output || r1.End != r2.End {
+		t.Fatal("output or end time differ across same-seed faulted runs")
+	}
+	// And the schedule itself round-trips through its codec, so the trace
+	// is reproducible from the schedule *file*, not just the in-memory value.
+	dec, err := faults.DecodeString(faults.EncodeString(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := chaostest.Run(chaostest.Wordcount(), 42, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Trace != r1.Trace {
+		t.Fatal("decoded schedule produced a different trace")
 	}
 }

@@ -97,11 +97,13 @@ func MustNewPlatform(opts Options) *Platform {
 // Workers returns the worker VMs (everything but the master).
 func (pl *Platform) Workers() []*xen.VM { return pl.VMs[1:] }
 
-// Run starts the cluster daemons, runs driver as a simulated process, then
-// stops the daemons and drains the simulation. It returns the driver's error
-// and the final virtual time.
+// Run starts the cluster daemons (including the HDFS replication monitor
+// when configured), runs driver as a simulated process, then stops the
+// daemons and drains the simulation. It returns the driver's error and the
+// final virtual time.
 func (pl *Platform) Run(driver func(p *sim.Proc) error) (sim.Time, error) {
 	pl.MR.Start()
+	pl.DFS.StartReplicationMonitor(pl.Opts.HDFS.ReplMonitorInterval)
 	var derr error
 	d := pl.Engine.Spawn("driver", func(p *sim.Proc) {
 		derr = driver(p)
@@ -109,6 +111,7 @@ func (pl *Platform) Run(driver func(p *sim.Proc) error) (sim.Time, error) {
 	pl.Engine.Spawn("terminator", func(p *sim.Proc) {
 		d.Done().Wait(p)
 		pl.MR.Stop()
+		pl.DFS.StopReplicationMonitor()
 	})
 	end := pl.Engine.Run()
 	if derr == nil && d.Err() != nil {

@@ -1,0 +1,137 @@
+// Package chaostest is the chaos harness: it runs real MapReduce workloads
+// on a fault-hardened platform while a seeded fault schedule fires, and
+// hands the caller everything needed to check the three chaos invariants —
+// the job completes, the output is byte-identical to a fault-free run, and
+// the same seed plus schedule reproduces a bit-identical event trace.
+package chaostest
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"vhadoop/internal/core"
+	"vhadoop/internal/datasets"
+	"vhadoop/internal/faults"
+	"vhadoop/internal/mapreduce"
+	"vhadoop/internal/nmon"
+	"vhadoop/internal/sim"
+	"vhadoop/internal/workloads"
+)
+
+// Workload is one chaos-testable job: it runs on the platform and returns
+// its canonical output records.
+type Workload struct {
+	Name string
+	Run  func(p *sim.Proc, pl *core.Platform) ([]mapreduce.KV, error)
+}
+
+// Wordcount is a 32 MB, 4-reduce wordcount with combiner.
+func Wordcount() Workload {
+	return Workload{Name: "wordcount", Run: func(p *sim.Proc, pl *core.Platform) ([]mapreduce.KV, error) {
+		const size = 32e6
+		recs := datasets.Text(pl.Engine.Rand(), datasets.DefaultTextOptions(size))
+		if _, err := pl.LoadText(p, "/chaos/wc", size, recs); err != nil {
+			return nil, err
+		}
+		out, _, err := pl.MR.RunAndCollect(p, workloads.WordcountJob("/chaos/wc", "", 4, true))
+		return out, err
+	}}
+}
+
+// TeraSort is a 32 MB TeraGen + TeraSort + TeraValidate pipeline.
+func TeraSort() Workload {
+	return Workload{Name: "terasort", Run: func(p *sim.Proc, pl *core.Platform) ([]mapreduce.KV, error) {
+		res, err := workloads.RunTeraSort(p, pl, workloads.DefaultTeraOptions(32e6))
+		if err != nil {
+			return nil, err
+		}
+		return res.Output, nil
+	}}
+}
+
+// Options is the chaos platform: 8 nodes split across both machines,
+// PM-aware triple replication so one whole machine can die, and the
+// namenode's replication monitor running so lost replicas get repaired
+// while the job is still in flight.
+func Options(seed int64) core.Options {
+	opts := core.DefaultOptions()
+	opts.Seed = seed
+	opts.Nodes = 8
+	opts.Layout = core.CrossDomain
+	opts.HDFS.PMAware = true
+	opts.HDFS.Replication = 3
+	opts.HDFS.ReplMonitorInterval = 15
+	return opts
+}
+
+// GenOptions returns schedule-generation pools that keep a run survivable
+// by construction: the master VM (vm00, namenode + jobtracker) and its
+// machine pm1 are never fault targets, so every fault hits capacity the
+// recovery paths can route around.
+func GenOptions(n int, horizon sim.Time) faults.GenOptions {
+	return faults.GenOptions{
+		N:       n,
+		Horizon: horizon,
+		// One worker from each side of the cross-domain split.
+		VMs:      []string{"vm02", "vm05"},
+		Machines: []string{"pm2"},
+		Filer:    "filer",
+	}
+}
+
+// GenSchedule draws the fault schedule for one chaos seed.
+func GenSchedule(scheduleSeed int64, n int, horizon sim.Time) faults.Schedule {
+	return faults.Generate(rand.New(rand.NewSource(scheduleSeed)), GenOptions(n, horizon))
+}
+
+// Result is one chaos trial.
+type Result struct {
+	Output string // canonical serialization of the job output
+	Trace  string // the full engine event trace, fault events included
+	Events []nmon.Event
+	End    sim.Time
+}
+
+// Canonical serializes job output records for byte comparison.
+func Canonical(out []mapreduce.KV) string {
+	var b strings.Builder
+	for _, kv := range out {
+		fmt.Fprintf(&b, "%s\t%v\n", kv.Key, kv.Value)
+	}
+	return b.String()
+}
+
+// Run provisions a fresh chaos platform from platformSeed, installs the
+// schedule, runs the workload and captures the trace. The returned error is
+// the driver's: a completed chaos run means err == nil even though VMs and
+// machines died along the way.
+func Run(w Workload, platformSeed int64, schedule faults.Schedule) (Result, error) {
+	pl := core.MustNewPlatform(Options(platformSeed))
+	var trace strings.Builder
+	pl.Engine.SetTrace(func(t sim.Time, format string, args ...any) {
+		trace.WriteString(strconv.FormatFloat(t, 'g', -1, 64))
+		trace.WriteByte(' ')
+		fmt.Fprintf(&trace, format, args...)
+		trace.WriteByte('\n')
+	})
+	mon := nmon.New(pl.Engine, 5)
+	inj := faults.NewInjector(pl)
+	inj.Attach(mon)
+	if err := inj.Install(schedule); err != nil {
+		return Result{}, err
+	}
+	var out []mapreduce.KV
+	end, err := pl.Run(func(p *sim.Proc) error {
+		var werr error
+		out, werr = w.Run(p, pl)
+		return werr
+	})
+	res := Result{Trace: trace.String(), Events: mon.Events(), End: end}
+	if err != nil {
+		return res, fmt.Errorf("chaos %s: %w", w.Name, err)
+	}
+	res.Output = Canonical(out)
+	return res, nil
+}

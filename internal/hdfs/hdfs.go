@@ -28,6 +28,9 @@ var (
 	ErrNoReplica    = errors.New("hdfs: no live replica for block")
 )
 
+// errMonitorStopped unwinds the replication monitor daemon on shutdown.
+var errMonitorStopped = errors.New("hdfs: replication monitor stopped")
+
 // Config mirrors the Hadoop parameters the paper's Hadoop Module sets.
 type Config struct {
 	BlockSize   float64 // dfs.block.size, bytes
@@ -48,6 +51,12 @@ type Config struct {
 	// Disabling it models blktap's O_DIRECT mode, where every block read
 	// hits the NFS filer (an ablation benchmark covers the difference).
 	UseHostCache bool
+	// ReplMonitorInterval is the period of the namenode's background
+	// replication monitor (dfs.replication.interval): every interval it
+	// scans for under-replicated blocks and re-copies them from surviving
+	// replicas. 0 disables the daemon, preserving the seed's happy-path
+	// behavior where repair traffic flows only on explicit ReReplicate.
+	ReplMonitorInterval sim.Time
 }
 
 // DefaultConfig matches Hadoop 0.20 defaults as deployed in the paper's
@@ -127,6 +136,7 @@ type Cluster struct {
 	files     map[string]*File
 	nextBlock int
 	rng       *rand.Rand // placement and replica selection randomness
+	monitor   *sim.Proc  // background replication daemon, nil when stopped
 
 	bytesWritten float64
 	bytesRead    float64
@@ -345,9 +355,46 @@ func (c *Cluster) Write(p *sim.Proc, client *xen.VM, name string, size float64, 
 	return f, nil
 }
 
-// writeBlock streams one block through the pipeline. All hops and disk
-// writes run concurrently (streaming), so the block costs its slowest stage.
+// writeBlock streams one block through the pipeline, recovering from
+// datanode deaths mid-stream the way the real DFS client does: the pipeline
+// is rebuilt from the surviving datanodes and the block is resent through
+// them. A shortened pipeline leaves the block under-replicated; the
+// replication monitor repairs that later. Only a dead client (or losing
+// every pipeline node) fails the write.
 func (c *Cluster) writeBlock(p *sim.Proc, client *xen.VM, b *Block, pipeline []*Datanode) error {
+	for {
+		err := c.streamBlock(p, client, b, pipeline)
+		if err == nil {
+			for _, d := range pipeline {
+				d.blocks[b.ID] = b
+				d.used += b.Size
+				b.Replicas = append(b.Replicas, d)
+			}
+			c.bytesWritten += b.Size * float64(len(pipeline))
+			return nil
+		}
+		if s := client.State(); s == xen.StateCrashed || s == xen.StateShutdown {
+			return err // the writer itself died; nothing to fail over to
+		}
+		var survivors []*Datanode
+		for _, d := range pipeline {
+			if d.Alive() {
+				survivors = append(survivors, d)
+			}
+		}
+		// Retry only when a pipeline node actually died (the pipeline
+		// strictly shrinks, so this terminates); any other failure — or
+		// losing every node — propagates.
+		if len(survivors) == 0 || len(survivors) == len(pipeline) {
+			return err
+		}
+		pipeline = survivors
+	}
+}
+
+// streamBlock pushes one block through the pipeline. All hops and disk
+// writes run concurrently (streaming), so the block costs its slowest stage.
+func (c *Cluster) streamBlock(p *sim.Proc, client *xen.VM, b *Block, pipeline []*Datanode) error {
 	e := p.Engine()
 	var stages []*sim.Proc
 	prev := client
@@ -364,16 +411,7 @@ func (c *Cluster) writeBlock(p *sim.Proc, client *xen.VM, b *Block, pipeline []*
 		}))
 		prev = d.VM
 	}
-	if err := sim.WaitProcs(p, stages...); err != nil {
-		return err
-	}
-	for _, d := range pipeline {
-		d.blocks[b.ID] = b
-		d.used += b.Size
-		b.Replicas = append(b.Replicas, d)
-	}
-	c.bytesWritten += b.Size * float64(len(pipeline))
-	return nil
+	return sim.WaitProcs(p, stages...)
 }
 
 // bestReplica picks the replica a client reads from. A same-VM replica is
@@ -420,7 +458,9 @@ func (c *Cluster) ReadBlock(p *sim.Proc, client *xen.VM, b *Block) error {
 }
 
 // ReadRange is ReadBlock for a byte sub-range of the block (MapReduce splits
-// finer than one block read only their share).
+// finer than one block read only their share). A replica that dies mid-read
+// triggers failover: the client re-requests the range from the best
+// surviving replica, exactly as the DFS client walks its location list.
 func (c *Cluster) ReadRange(p *sim.Proc, client *xen.VM, b *Block, bytes float64) error {
 	if bytes <= 0 {
 		return nil
@@ -428,10 +468,27 @@ func (c *Cluster) ReadRange(p *sim.Proc, client *xen.VM, b *Block, bytes float64
 	if bytes > b.Size {
 		bytes = b.Size
 	}
-	d, err := c.bestReplica(b, client)
-	if err != nil {
-		return err
+	for {
+		d, err := c.bestReplica(b, client)
+		if err != nil {
+			return err
+		}
+		rerr := c.readFrom(p, client, d, b, bytes)
+		if rerr == nil {
+			c.bytesRead += bytes
+			return nil
+		}
+		// Fail over only when the serving replica actually died (it can
+		// never be re-picked, so this terminates); a failure with the
+		// replica still alive means the client itself died — propagate.
+		if d.Alive() {
+			return rerr
+		}
 	}
+}
+
+// readFrom moves bytes of block b from replica d to the client.
+func (c *Cluster) readFrom(p *sim.Proc, client *xen.VM, d *Datanode, b *Block, bytes float64) error {
 	if c.cfg.UseHostCache {
 		e := p.Engine()
 		reader := e.Spawn("hdfs-read-disk", func(q *sim.Proc) {
@@ -447,21 +504,13 @@ func (c *Cluster) ReadRange(p *sim.Proc, client *xen.VM, b *Block, bytes float64
 		if sender != nil {
 			procs = append(procs, sender)
 		}
-		if err := sim.WaitProcs(p, procs...); err != nil {
-			return err
-		}
-		c.bytesRead += bytes
-		return nil
+		return sim.WaitProcs(p, procs...)
 	}
 	// O_DIRECT path: one coupled relay flow filer -> replica host -> client.
 	relay := p.Engine().Spawn("hdfs-read-relay", func(q *sim.Proc) {
 		d.VM.ReadFromDiskTo(q, client, bytes)
 	})
-	if err := sim.WaitProcs(p, relay); err != nil {
-		return err
-	}
-	c.bytesRead += bytes
-	return nil
+	return sim.WaitProcs(p, relay)
 }
 
 // Read moves a whole file to the client VM, block by block, and returns its
@@ -494,10 +543,40 @@ func (c *Cluster) IsLocal(b *Block, vm *xen.VM) bool {
 	return false
 }
 
-// Decommission marks a datanode dead; its replicas stop serving. (The paper
-// relies on Hadoop's fault tolerance to survive migration downtime, and
-// failure-injection tests use this hook.)
+// Decommission marks a datanode dead; its replicas stop serving. The blocks
+// it held become under-replicated and are repaired by the next pass of the
+// replication monitor (or an explicit ReReplicate) — while the node's VM
+// still runs, its intact disk can even source the repair copies.
 func (c *Cluster) Decommission(d *Datanode) { d.dead = true }
+
+// StartReplicationMonitor spawns the namenode's background replication
+// daemon: every interval it scans for under-replicated blocks and copies
+// them back to full strength from surviving replicas. A datanode dying
+// mid-copy only voids that copy — the daemon retries on a later pass. Runs
+// until StopReplicationMonitor; a second Start is a no-op.
+func (c *Cluster) StartReplicationMonitor(interval sim.Time) {
+	if c.monitor != nil || interval <= 0 {
+		return
+	}
+	e := c.namenode.Engine()
+	c.monitor = e.Spawn("hdfs-repl-monitor", func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			if n := c.ReReplicate(p); n > 0 {
+				e.Tracef("replication monitor created %d replicas", n)
+			}
+		}
+	})
+}
+
+// StopReplicationMonitor terminates the replication daemon, waking it from
+// its current sleep so the engine can drain.
+func (c *Cluster) StopReplicationMonitor() {
+	if c.monitor != nil {
+		c.monitor.Abort(errMonitorStopped)
+		c.monitor = nil
+	}
+}
 
 // UnderReplicated returns blocks with fewer live replicas than configured.
 func (c *Cluster) UnderReplicated() []*Block {
@@ -576,11 +655,20 @@ func (c *Cluster) ReReplicate(p *sim.Proc) int {
 			if target == nil {
 				break
 			}
-			src.VM.SendTo(p, target.VM, b.Size)
-			if c.cfg.UseHostCache {
-				target.VM.WriteDiskTagged(p, blockKey(b), b.Size)
-			} else {
-				target.VM.WriteDisk(p, b.Size)
+			// The copy runs in a child proc so a source or target VM dying
+			// mid-stream fails only this transfer, not the caller (which may
+			// be the long-lived replication monitor daemon).
+			src, target := src, target
+			xfer := p.Engine().Spawn("hdfs-rerepl", func(q *sim.Proc) {
+				src.VM.SendTo(q, target.VM, b.Size)
+				if c.cfg.UseHostCache {
+					target.VM.WriteDiskTagged(q, blockKey(b), b.Size)
+				} else {
+					target.VM.WriteDisk(q, b.Size)
+				}
+			})
+			if err := sim.WaitProcs(p, xfer); err != nil {
+				break // a later monitor pass re-picks source and target
 			}
 			target.blocks[b.ID] = b
 			target.used += b.Size

@@ -345,6 +345,115 @@ func TestReReplicateRestoresFactor(t *testing.T) {
 	tb.engine.Run()
 }
 
+func TestWritePipelineFailoverMidStream(t *testing.T) {
+	// Replication = all 3 datanodes, so the pipeline is known up front:
+	// writer-local first, the others behind it. Crashing a tail datanode
+	// mid-stream must shrink the pipeline and resend, not fail the write.
+	tb := newTestbed(1, 1, 4, Config{BlockSize: 64e6, Replication: 3})
+	writer := tb.vms[1]
+	victim := tb.vms[2]
+	tb.engine.At(0.3, victim.Crash)
+	var f *File
+	var werr error
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		f, werr = tb.cluster.Write(p, writer, "/d", 64e6, nil)
+	})
+	tb.engine.Run()
+	if werr != nil {
+		t.Fatalf("write with mid-pipeline crash: %v", werr)
+	}
+	b := f.Blocks[0]
+	if len(b.Replicas) != 2 {
+		t.Fatalf("replicas = %d, want 2 survivors", len(b.Replicas))
+	}
+	for _, d := range b.Replicas {
+		if !d.Alive() {
+			t.Fatalf("replica %s registered on a dead datanode", d.VM.Name)
+		}
+		if d.VM == victim {
+			t.Fatal("crashed datanode still in the pipeline")
+		}
+	}
+}
+
+func TestWriteFailsWhenClientDies(t *testing.T) {
+	tb := newTestbed(1, 1, 4, Config{BlockSize: 64e6, Replication: 2})
+	writer := tb.vms[1]
+	tb.engine.At(0.3, writer.Crash)
+	var werr error
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		_, werr = tb.cluster.Write(p, writer, "/d", 64e6, nil)
+	})
+	tb.engine.Run()
+	if !errors.Is(werr, xen.ErrVMDead) {
+		t.Fatalf("err = %v, want ErrVMDead (no pipeline can save a dead writer)", werr)
+	}
+}
+
+func TestReadFailoverMidStream(t *testing.T) {
+	// Both datanodes hold every block; crash one while the namenode-hosted
+	// client is mid-way through a multi-block read. Blocks being served by
+	// (or later routed to) the dead replica must fail over to the survivor.
+	tb := newTestbed(1, 1, 3, Config{BlockSize: 64e6, Replication: 2})
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		if _, err := tb.cluster.Write(p, tb.vms[1], "/d", 256e6, nil); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	tb.engine.Run()
+	start := tb.engine.Now()
+	tb.engine.At(start+2, tb.vms[2].Crash)
+	var rerr error
+	tb.engine.Spawn("r", func(p *sim.Proc) {
+		_, rerr = tb.cluster.Read(p, tb.vms[0], "/d")
+	})
+	tb.engine.Run()
+	if rerr != nil {
+		t.Fatalf("read with mid-stream replica crash: %v", rerr)
+	}
+}
+
+// Regression for the Decommission hole: a decommissioned datanode's blocks
+// used to stay under-replicated forever. With the replication monitor
+// running they must regain full replication — sourced, while the node's VM
+// still runs, from its intact disk (decommissioning-in-progress), and the
+// monitor must survive a source VM crashing mid-copy.
+func TestDecommissionRegainsReplication(t *testing.T) {
+	tb := newTestbed(1, 1, 5, Config{BlockSize: 64e6, Replication: 2})
+	writer := tb.vms[1]
+	var f *File
+	tb.engine.Spawn("w", func(p *sim.Proc) {
+		var err error
+		f, err = tb.cluster.Write(p, writer, "/d", 64e6, nil)
+		if err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	tb.engine.Run()
+	b := f.Blocks[0]
+	// Decommission the non-writer replica, then crash the writer-local one
+	// mid-way through the monitor's first repair copy: the only remaining
+	// source is the decommissioned node's still-running VM.
+	tb.cluster.Decommission(b.Replicas[1])
+	if got := len(tb.cluster.UnderReplicated()); got != 1 {
+		t.Fatalf("under-replicated after decommission = %d, want 1", got)
+	}
+	start := tb.engine.Now()
+	tb.engine.At(start+10.3, writer.Crash)
+	tb.cluster.StartReplicationMonitor(10)
+	tb.engine.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(100)
+		tb.cluster.StopReplicationMonitor()
+	})
+	tb.engine.Run()
+	if got := len(tb.cluster.UnderReplicated()); got != 0 {
+		t.Fatalf("%d blocks still under-replicated after monitor repair", got)
+	}
+	if got := countLive(b); got != 2 {
+		t.Fatalf("live replicas = %d, want 2", got)
+	}
+}
+
 func TestReReplicateUnrecoverableBlock(t *testing.T) {
 	tb := newTestbed(1, 1, 3, Config{BlockSize: 64e6, Replication: 2})
 	tb.engine.Spawn("w", func(p *sim.Proc) {

@@ -77,6 +77,7 @@ type Tracker struct {
 	mapFree    int
 	reduceFree int
 	lastHB     sim.Time
+	hungUntil  sim.Time
 	dead       bool
 	running    map[*task]bool
 }
@@ -84,6 +85,17 @@ type Tracker struct {
 // Alive reports whether the tracker is serving.
 func (tr *Tracker) Alive() bool {
 	return !tr.dead && tr.VM.State() != xen.StateCrashed && tr.VM.State() != xen.StateShutdown
+}
+
+// Hang silences the tracker's heartbeats until the given virtual time
+// without killing its VM or the tasks it is running (a long GC pause or a
+// wedged daemon thread). If the silence outlasts TrackerTimeout the
+// jobtracker declares the tracker dead while its tasks keep running — the
+// zombie-tasktracker scenario whose late completions must be discarded.
+func (tr *Tracker) Hang(until sim.Time) {
+	if until > tr.hungUntil {
+		tr.hungUntil = until
+	}
 }
 
 // DecommissionTracker removes a tasktracker from service, re-queueing its
@@ -189,6 +201,9 @@ func (c *Cluster) heartbeatLoop(p *sim.Proc, tr *Tracker) {
 		p.Sleep(c.cfg.HeartbeatInterval)
 		if c.stopped || !tr.Alive() {
 			return
+		}
+		if p.Now() < tr.hungUntil {
+			continue // hung daemon: heartbeat-silent, but the VM lives on
 		}
 		tr.VM.Message(p, c.master, c.cfg.HeartbeatBytes)
 		tr.lastHB = p.Now()
@@ -406,6 +421,13 @@ func (c *Cluster) onTaskExit(tr *Tracker, t *task, err error) {
 		}
 		c.engine.Tracef("task %s%d of %s failed on %s: %v", t.kind, t.index, t.job.cfg.Name, tr.VM.Name, err)
 		c.requeue(t)
+		return
+	}
+	if tr.dead {
+		// A zombie tracker (hung past the timeout, or declared dead just as
+		// its task finished) reporting success: its map output lives on a
+		// node the jobtracker has written off and reducers will never fetch
+		// from. Discard; declareDead already requeued the task elsewhere.
 		return
 	}
 	if t.state == TaskDone {

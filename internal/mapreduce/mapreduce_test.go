@@ -368,6 +368,80 @@ func TestTaskReexecutionAfterVMCrash(t *testing.T) {
 	}
 }
 
+func TestTrackerHangDeclaredDeadButJobCompletes(t *testing.T) {
+	// A tasktracker that goes heartbeat-silent (without its VM dying) must
+	// be declared dead past the timeout and its tasks re-executed elsewhere.
+	// The zombie's tasks keep running and eventually report success — those
+	// late completions must be discarded, or reducers would wait forever on
+	// map output the jobtracker has written off.
+	opts := smallOpts(6, core.Normal)
+	opts.MR.TrackerTimeout = 10
+	pl := core.MustNewPlatform(opts)
+	lines := make([]string, 32)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("x%d y z", i)
+	}
+	var stats mapreduce.JobStats
+	counts := map[string]int{}
+	_, err := pl.Run(func(p *sim.Proc) error {
+		if _, err := pl.LoadText(p, "/in", 2048e6, lineRecords(lines, 2048e6/32)); err != nil {
+			return err
+		}
+		zombie := pl.MR.Trackers()[1]
+		pl.Engine.After(20, func() { zombie.Hang(1e6) })
+		out, st, err := pl.MR.RunAndCollect(p, wordcountJob("/in", "", 2, false))
+		if err != nil {
+			return err
+		}
+		stats = st
+		for _, kv := range out {
+			counts[kv.Key] = kv.Value.(int)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("job did not survive tracker hang: %v", err)
+	}
+	if counts["z"] != 32 {
+		t.Fatalf("lost or duplicated records after hang: z=%d, want 32", counts["z"])
+	}
+	if stats.Attempts <= stats.MapTasks+stats.ReduceTasks {
+		t.Fatalf("no re-execution recorded: attempts=%d tasks=%d",
+			stats.Attempts, stats.MapTasks+stats.ReduceTasks)
+	}
+}
+
+func TestTrackerShortHangRecovers(t *testing.T) {
+	// A hang shorter than the timeout only delays heartbeats: the tracker
+	// is never declared dead and no task is re-executed.
+	opts := smallOpts(5, core.Normal)
+	opts.MR.TrackerTimeout = 30
+	pl := core.MustNewPlatform(opts)
+	var stats mapreduce.JobStats
+	_, err := pl.Run(func(p *sim.Proc) error {
+		if _, err := pl.LoadText(p, "/in", 128e6, lineRecords(testLines, 32e6)); err != nil {
+			return err
+		}
+		tr := pl.MR.Trackers()[0]
+		pl.Engine.After(5, func() { tr.Hang(pl.Engine.Now() + 15) })
+		var err error
+		stats, err = pl.MR.Run(p, wordcountJob("/in", "", 2, false))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("job did not survive short hang: %v", err)
+	}
+	for _, tr := range pl.MR.Trackers() {
+		if !tr.Alive() {
+			t.Fatalf("tracker %s declared dead after sub-timeout hang", tr.VM.Name)
+		}
+	}
+	if stats.Attempts != stats.MapTasks+stats.ReduceTasks {
+		t.Fatalf("unexpected re-execution: attempts=%d tasks=%d",
+			stats.Attempts, stats.MapTasks+stats.ReduceTasks)
+	}
+}
+
 func TestSpeculativeExecutionDuplicatesStraggler(t *testing.T) {
 	opts := smallOpts(6, core.Normal)
 	opts.MR.Speculative = true

@@ -61,6 +61,7 @@ type Machine struct {
 	Cache  *PageCache     // dom0 NFS-client page cache
 
 	memInUse float64 // bytes of DRAM committed to VMs
+	failed   bool    // whole-host failure (power loss, hypervisor panic)
 }
 
 // PageCache is the dom0 NFS-client page cache: recently written or read
@@ -139,8 +140,22 @@ func (c *PageCache) HitRate() float64 {
 // MemFree returns uncommitted DRAM in bytes.
 func (m *Machine) MemFree() float64 { return m.Spec.DRAMBytes - m.memInUse }
 
-// ReserveMem commits bytes of DRAM to a VM, failing if it does not fit.
+// Fail marks the machine as failed (power loss, hypervisor panic). A failed
+// machine accepts no new VM placements; the virtualization layer is
+// responsible for crashing the VMs resident at failure time (see
+// xen.Manager.CrashMachine). There is no repair: a failed host stays failed
+// for the rest of the simulation, as in the paper's testbed failure model.
+func (m *Machine) Fail() { m.failed = true }
+
+// Failed reports whether the machine has suffered a whole-host failure.
+func (m *Machine) Failed() bool { return m.failed }
+
+// ReserveMem commits bytes of DRAM to a VM, failing if it does not fit or
+// if the machine itself has failed.
 func (m *Machine) ReserveMem(bytes float64) error {
+	if m.failed {
+		return fmt.Errorf("phys: %s: machine has failed", m.Name)
+	}
 	if bytes > m.MemFree() {
 		return fmt.Errorf("phys: %s: cannot reserve %.0f bytes, %.0f free", m.Name, bytes, m.MemFree())
 	}

@@ -58,6 +58,20 @@ func (f *FairShare) Capacity() float64 { return f.capacity }
 // Load returns the number of jobs currently in service.
 func (f *FairShare) Load() int { return len(f.jobs) }
 
+// SetCapacity retunes the total service rate mid-simulation (fault
+// injection: a stalled disk or throttled device). Progress is integrated at
+// the old rates first, then every in-flight job is re-rated. Capacity must
+// stay positive: a zero-rate resource would stall the event loop, so stalls
+// are modelled as a severe-but-finite slowdown.
+func (f *FairShare) SetCapacity(capacity float64) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: fair-share %q: capacity must be positive", f.name))
+	}
+	f.advance()
+	f.capacity = capacity
+	f.reschedule()
+}
+
 // Utilization returns the instantaneous fraction of capacity in use.
 func (f *FairShare) Utilization() float64 {
 	total := 0.0

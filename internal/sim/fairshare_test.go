@@ -17,6 +17,33 @@ func TestFairShareSingleJob(t *testing.T) {
 	almost(t, done, 5, 1e-9, "500 work at 100/s")
 }
 
+func TestFairShareSetCapacityMidJob(t *testing.T) {
+	// 1000 work at 100/s; at t=5 (500 served) the device stalls to 10/s,
+	// so the remaining 500 takes 50 more seconds.
+	e := New(1)
+	fs := NewFairShare(e, "disk", 100, 0)
+	e.At(5, func() { fs.SetCapacity(10) })
+	var done Time
+	e.Spawn("w", func(p *Proc) {
+		fs.Use(p, 1000)
+		done = p.Now()
+	})
+	e.Run()
+	almost(t, done, 55, 1e-6, "stalled device slows the tail")
+	almost(t, fs.Served(), 1000, 1e-6, "work conserved across retune")
+}
+
+func TestFairShareSetCapacityRejectsNonPositive(t *testing.T) {
+	e := New(1)
+	fs := NewFairShare(e, "disk", 100, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCapacity(0) did not panic")
+		}
+	}()
+	fs.SetCapacity(0)
+}
+
 func TestFairShareTwoJobsShareEqually(t *testing.T) {
 	e := New(1)
 	fs := NewFairShare(e, "disk", 100, 0)

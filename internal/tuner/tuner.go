@@ -18,6 +18,12 @@ type Metrics struct {
 	RecentJobs  []mapreduce.JobStats
 	CrossDomain bool // VMs currently span two physical machines
 	MRConfig    mapreduce.Config
+	// DeadNodes counts datanodes/tasktrackers lost since the last round
+	// (crashed VMs, failed machines, decommissions not yet repaired).
+	DeadNodes int
+	// UnderReplicated counts HDFS blocks below their replication target
+	// (hdfs.Cluster.UnderReplicated).
+	UnderReplicated int
 }
 
 // Action identifies what a recommendation changes.
@@ -31,6 +37,7 @@ const (
 	ActionDecreaseSlots   Action = "decrease-map-slots"
 	ActionEnableSpec      Action = "enable-speculation"
 	ActionLargerBlocks    Action = "increase-block-size" // dfs.block.size
+	ActionRepairReplica   Action = "repair-replication"  // re-replicate lost blocks
 )
 
 // Recommendation is one proposed adjustment with its evidence.
@@ -79,6 +86,17 @@ func (t *Tuner) Evaluate(m Metrics) []Recommendation {
 	var recs []Recommendation
 	th := t.Thresholds
 	b := m.Report.Bottleneck
+
+	// Rule 0: lost nodes endanger data before anything costs performance.
+	// A dead datanode or an under-replicated block means the cluster is one
+	// more failure away from losing data, so repair outranks every tuning
+	// knob (run ReReplicate, or enable the namenode's replication monitor).
+	if m.DeadNodes > 0 || m.UnderReplicated > 0 {
+		recs = append(recs, Recommendation{
+			Action: ActionRepairReplica,
+			Reason: fmt.Sprintf("%d node(s) lost and %d block(s) under-replicated: re-replicate onto surviving datanodes before tuning performance", m.DeadNodes, m.UnderReplicated),
+		})
+	}
 
 	// Rule 1: a network-bound cross-domain cluster should be consolidated
 	// onto one physical machine via live migration (the Tuner's headline

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"reflect"
 	"testing"
 
 	"vhadoop/internal/mapreduce"
@@ -17,105 +18,155 @@ func baseMetrics() Metrics {
 	}
 }
 
-func hasAction(recs []Recommendation, a Action) bool {
+func actions(recs []Recommendation) []Action {
+	var out []Action
 	for _, r := range recs {
-		if r.Action == a {
-			return true
-		}
+		out = append(out, r.Action)
 	}
-	return false
+	return out
 }
 
-func TestNoRecommendationsWhenHealthy(t *testing.T) {
-	recs := New().Evaluate(baseMetrics())
-	if len(recs) != 0 {
-		t.Fatalf("healthy cluster produced recommendations: %v", recs)
+// TestRuleTable drives every tuner rule from a healthy baseline: each
+// sample mutates exactly one signal and must fire exactly its own rule —
+// no rule may trigger on another rule's sample, and the healthy baseline
+// must stay silent.
+func TestRuleTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Metrics)
+		want   []Action
+	}{
+		{
+			name:   "healthy baseline",
+			mutate: func(m *Metrics) {},
+			want:   nil,
+		},
+		{
+			name: "node lost",
+			mutate: func(m *Metrics) {
+				m.DeadNodes = 1
+			},
+			want: []Action{ActionRepairReplica},
+		},
+		{
+			name: "under-replicated blocks without a known dead node",
+			mutate: func(m *Metrics) {
+				m.UnderReplicated = 12
+			},
+			want: []Action{ActionRepairReplica},
+		},
+		{
+			name: "cross-domain network-bound",
+			mutate: func(m *Metrics) {
+				m.CrossDomain = true
+				m.Report.Bottleneck = nmon.Bottleneck{Resource: "pm1.tx", Kind: "network", MeanUtil: 0.95}
+			},
+			want: []Action{ActionConsolidate},
+		},
+		{
+			name: "network-bound but already consolidated",
+			mutate: func(m *Metrics) {
+				m.Report.Bottleneck = nmon.Bottleneck{Resource: "pm1.tx", Kind: "network", MeanUtil: 0.95}
+			},
+			want: nil, // migration cannot help a normal-layout cluster
+		},
+		{
+			name: "heavy spilling",
+			mutate: func(m *Metrics) {
+				m.RecentJobs = []mapreduce.JobStats{{ShuffledBytes: 100e6, SpillBytes: 60e6, MapTasks: 4, ReduceTasks: 1, Attempts: 5}}
+			},
+			want: []Action{ActionIncreaseSortBuf},
+		},
+		{
+			name: "hot VCPUs",
+			mutate: func(m *Metrics) {
+				m.Report.VMs = []nmon.VMSummary{{VM: "vm01", MeanCPU: 0.97}}
+			},
+			want: []Action{ActionDecreaseSlots},
+		},
+		{
+			name: "cold VCPUs with CPU bottleneck",
+			mutate: func(m *Metrics) {
+				m.Report.VMs = []nmon.VMSummary{{VM: "vm01", MeanCPU: 0.15}}
+				m.Report.Bottleneck = nmon.Bottleneck{Resource: "vm-cpu", Kind: "cpu", MeanUtil: 0.15}
+			},
+			want: []Action{ActionIncreaseSlots},
+		},
+		{
+			name: "stragglers without speculation",
+			mutate: func(m *Metrics) {
+				m.RecentJobs = []mapreduce.JobStats{{MapTasks: 10, ReduceTasks: 2, Attempts: 15}}
+			},
+			want: []Action{ActionEnableSpec},
+		},
+		{
+			name: "stragglers with speculation already on",
+			mutate: func(m *Metrics) {
+				m.RecentJobs = []mapreduce.JobStats{{MapTasks: 10, ReduceTasks: 2, Attempts: 15}}
+				m.MRConfig.Speculative = true
+			},
+			want: nil,
+		},
+		{
+			name: "disk-bound filer",
+			mutate: func(m *Metrics) {
+				m.Report.Bottleneck = nmon.Bottleneck{Resource: "filer.disk", Kind: "disk", MeanUtil: 0.92}
+			},
+			want: []Action{ActionLargerBlocks},
+		},
+		{
+			name: "node lost outranks performance tuning",
+			mutate: func(m *Metrics) {
+				m.DeadNodes = 2
+				m.UnderReplicated = 30
+				m.CrossDomain = true
+				m.Report.Bottleneck = nmon.Bottleneck{Resource: "pm1.tx", Kind: "network", MeanUtil: 0.95}
+			},
+			want: []Action{ActionRepairReplica, ActionConsolidate},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := baseMetrics()
+			tc.mutate(&m)
+			got := actions(New().Evaluate(m))
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("actions = %v, want %v", got, tc.want)
+			}
+		})
 	}
 }
 
-func TestConsolidateCrossDomainNetworkBound(t *testing.T) {
-	m := baseMetrics()
-	m.CrossDomain = true
-	m.Report.Bottleneck = nmon.Bottleneck{Resource: "pm1.tx", Kind: "network", MeanUtil: 0.95}
-	recs := New().Evaluate(m)
-	if !hasAction(recs, ActionConsolidate) {
-		t.Fatalf("no consolidation recommended: %v", recs)
+func TestApplyFoldsParameterActions(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	out := Apply(cfg, []Recommendation{
+		{Action: ActionIncreaseSortBuf},
+		{Action: ActionIncreaseSlots},
+		{Action: ActionEnableSpec},
+	})
+	if out.SortBufferBytes != cfg.SortBufferBytes*2 {
+		t.Fatalf("sort buffer not doubled: %v", out.SortBufferBytes)
 	}
-	// Same saturation on a packed cluster: migration cannot help.
-	m.CrossDomain = false
-	recs = New().Evaluate(m)
-	if hasAction(recs, ActionConsolidate) {
-		t.Fatalf("consolidation recommended for a normal-layout cluster: %v", recs)
+	if out.MapSlots != cfg.MapSlots+1 {
+		t.Fatalf("slots not increased: %d", out.MapSlots)
 	}
-}
-
-func TestSpillTriggersSortBuffer(t *testing.T) {
-	m := baseMetrics()
-	m.RecentJobs = []mapreduce.JobStats{{ShuffledBytes: 100e6, SpillBytes: 60e6, MapTasks: 4, ReduceTasks: 1, Attempts: 5}}
-	recs := New().Evaluate(m)
-	if !hasAction(recs, ActionIncreaseSortBuf) {
-		t.Fatalf("no sort-buffer recommendation: %v", recs)
-	}
-	cfg := Apply(m.MRConfig, recs)
-	if cfg.SortBufferBytes != m.MRConfig.SortBufferBytes*2 {
-		t.Fatalf("sort buffer not doubled: %v", cfg.SortBufferBytes)
-	}
-}
-
-func TestHotCPUDecreasesSlots(t *testing.T) {
-	m := baseMetrics()
-	m.Report.VMs = []nmon.VMSummary{{VM: "vm01", MeanCPU: 0.97}}
-	recs := New().Evaluate(m)
-	if !hasAction(recs, ActionDecreaseSlots) {
-		t.Fatalf("no slot decrease: %v", recs)
-	}
-	cfg := Apply(m.MRConfig, recs)
-	if cfg.MapSlots != m.MRConfig.MapSlots-1 {
-		t.Fatalf("slots not decreased: %d", cfg.MapSlots)
-	}
-}
-
-func TestColdCPUIncreasesSlots(t *testing.T) {
-	m := baseMetrics()
-	m.Report.VMs = []nmon.VMSummary{{VM: "vm01", MeanCPU: 0.15}}
-	m.Report.Bottleneck = nmon.Bottleneck{Resource: "vm-cpu", Kind: "cpu", MeanUtil: 0.15}
-	recs := New().Evaluate(m)
-	if !hasAction(recs, ActionIncreaseSlots) {
-		t.Fatalf("no slot increase: %v", recs)
-	}
-}
-
-func TestStragglersEnableSpeculation(t *testing.T) {
-	m := baseMetrics()
-	m.RecentJobs = []mapreduce.JobStats{{MapTasks: 10, ReduceTasks: 2, Attempts: 15}}
-	recs := New().Evaluate(m)
-	if !hasAction(recs, ActionEnableSpec) {
-		t.Fatalf("no speculation recommendation: %v", recs)
-	}
-	cfg := Apply(m.MRConfig, recs)
-	if !cfg.Speculative {
+	if !out.Speculative {
 		t.Fatal("speculation not applied")
 	}
-	// Already speculative: no recommendation.
-	m.MRConfig.Speculative = true
-	if recs := New().Evaluate(m); hasAction(recs, ActionEnableSpec) {
-		t.Fatal("speculation recommended twice")
+	down := Apply(out, []Recommendation{{Action: ActionDecreaseSlots}})
+	if down.MapSlots != out.MapSlots-1 {
+		t.Fatalf("slots not decreased: %d", down.MapSlots)
 	}
 }
 
-func TestDiskBoundRecommendsLargerBlocks(t *testing.T) {
-	m := baseMetrics()
-	m.Report.Bottleneck = nmon.Bottleneck{Resource: "filer.disk", Kind: "disk", MeanUtil: 0.92}
-	recs := New().Evaluate(m)
-	if !hasAction(recs, ActionLargerBlocks) {
-		t.Fatalf("no block-size recommendation: %v", recs)
-	}
-}
-
-func TestApplyIgnoresMigrationActions(t *testing.T) {
+func TestApplyIgnoresNonParameterActions(t *testing.T) {
 	cfg := mapreduce.DefaultConfig()
-	out := Apply(cfg, []Recommendation{{Action: ActionConsolidate}})
-	if out.MapSlots != cfg.MapSlots || out.SortBufferBytes != cfg.SortBufferBytes {
-		t.Fatal("consolidation changed the MR config")
+	out := Apply(cfg, []Recommendation{
+		{Action: ActionConsolidate},
+		{Action: ActionRepairReplica},
+		{Action: ActionLargerBlocks},
+	})
+	if !reflect.DeepEqual(out, cfg) {
+		t.Fatal("platform-level actions changed the MR config")
 	}
 }

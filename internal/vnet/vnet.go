@@ -47,6 +47,20 @@ func (l *Link) Latency() sim.Time { return l.latency }
 // Utilization returns the instantaneous fraction of capacity allocated.
 func (l *Link) Utilization() float64 { return l.inUse / l.bandwidth }
 
+// SetBandwidth retunes the link capacity mid-simulation (fault injection:
+// degradation, or a partition modelled as a near-zero crawl). Flow progress
+// is integrated at the old rates first, then every active flow is re-rated
+// by a fresh water-filling pass. Bandwidth must stay positive: a zero-rate
+// link would stall the fabric, so partitions use a small positive floor.
+func (l *Link) SetBandwidth(bw float64) {
+	if bw <= 0 {
+		panic(fmt.Sprintf("vnet: link %q: bandwidth must be positive", l.name))
+	}
+	l.fabric.advance()
+	l.bandwidth = bw
+	l.fabric.reschedule()
+}
+
 // MeanUtilization returns the time-averaged utilisation since creation.
 func (l *Link) MeanUtilization() float64 {
 	l.fabric.advance()

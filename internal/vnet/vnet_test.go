@@ -42,6 +42,53 @@ func TestLatencyAddsToCompletion(t *testing.T) {
 	almost(t, done, 1.003, 1e-9, "transfer plus path latency")
 }
 
+func TestSetBandwidthRetunesMidFlow(t *testing.T) {
+	// 1000 MB over 100 MB/s; at t=5 (500 MB moved) the link degrades to
+	// 50 MB/s, so the remaining 500 MB takes 10 more seconds.
+	e := sim.New(1)
+	f := NewFabric(e)
+	l := f.NewLink("nic", 100e6, 0)
+	e.At(5, func() { l.SetBandwidth(50e6) })
+	var done sim.Time
+	e.Spawn("x", func(p *sim.Proc) {
+		f.Transfer(p, "t", []*Link{l}, 1000e6)
+		done = p.Now()
+	})
+	e.Run()
+	almost(t, done, 15, 1e-6, "degraded link halves the tail rate")
+}
+
+func TestSetBandwidthRestore(t *testing.T) {
+	// Degrade to a crawl and restore: 100 MB at 100 MB/s would take 1s;
+	// crawling at 1 MB/s between t=0.5 and t=1.5 moves only 1 MB, the rest
+	// finishes at full rate after restoration.
+	e := sim.New(1)
+	f := NewFabric(e)
+	l := f.NewLink("nic", 100e6, 0)
+	e.At(0.5, func() { l.SetBandwidth(1e6) })
+	e.At(1.5, func() { l.SetBandwidth(100e6) })
+	var done sim.Time
+	e.Spawn("x", func(p *sim.Proc) {
+		f.Transfer(p, "t", []*Link{l}, 100e6)
+		done = p.Now()
+	})
+	e.Run()
+	// 50 MB by 0.5s, 1 MB by 1.5s, remaining 49 MB in 0.49s.
+	almost(t, done, 1.99, 1e-6, "restored link resumes full rate")
+}
+
+func TestSetBandwidthRejectsNonPositive(t *testing.T) {
+	e := sim.New(1)
+	f := NewFabric(e)
+	l := f.NewLink("nic", 100e6, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetBandwidth(0) did not panic")
+		}
+	}()
+	l.SetBandwidth(0)
+}
+
 func TestTwoFlowsShareBottleneck(t *testing.T) {
 	e := sim.New(1)
 	f := NewFabric(e)

@@ -43,6 +43,7 @@ type TeraResult struct {
 	SortTime  sim.Time
 	Validated bool
 	Rows      int
+	Output    []mapreduce.KV // the globally sorted rows (key, payload)
 }
 
 const teraKeyLen = 10
@@ -190,6 +191,7 @@ func RunTeraSort(p *sim.Proc, pl *core.Platform, opts TeraOptions) (TeraResult, 
 	}
 	res.SortTime = p.Now() - start
 	res.Rows = len(out)
+	res.Output = out
 
 	// TeraValidate: the output partitions are concatenated in partition
 	// order, so global sortedness is simply pairwise order.

@@ -102,3 +102,22 @@ func (m *Manager) Boot(p *sim.Proc, vm *VM) {
 	m.nfs.FetchImage(p, vm.host, m.cfg.ImageBytes)
 	p.Sleep(m.cfg.BootTime)
 }
+
+// CrashMachine fails a physical machine and crashes every VM resident on it
+// — the correlated failure mode specific to virtualized clusters, where one
+// host loss takes a whole rack-worth of co-resident datanodes and
+// tasktrackers with it. Returns the VMs crashed, in creation order.
+func (m *Manager) CrashMachine(pm *phys.Machine) []*VM {
+	pm.Fail()
+	var crashed []*VM
+	for _, vm := range m.vms {
+		if vm.host == pm && vm.state != StateCrashed && vm.state != StateShutdown {
+			vm.Crash()
+			crashed = append(crashed, vm)
+		}
+	}
+	if len(crashed) > 0 {
+		m.engine.Tracef("machine %s failed, crashed %d VMs", pm.Name, len(crashed))
+	}
+	return crashed
+}

@@ -1,11 +1,17 @@
 package xen
 
 import (
+	"errors"
 	"fmt"
 
 	"vhadoop/internal/phys"
 	"vhadoop/internal/sim"
 )
+
+// ErrMigrationAborted reports a live migration abandoned because the
+// destination machine failed mid-flight. The guest keeps running (or resumes)
+// on the source; the caller may retry toward another target.
+var ErrMigrationAborted = errors.New("xen: migration aborted, destination failed")
 
 // MigrationConfig tunes the pre-copy live migration algorithm.
 type MigrationConfig struct {
@@ -86,6 +92,17 @@ func (m *Manager) Migrate(p *sim.Proc, vm *VM, dst *phys.Machine, cfg MigrationC
 	fabric := m.topo.Fabric()
 	path := m.topo.HostPath(src, dst)
 
+	// abort undoes the destination reservation and reports why the
+	// migration cannot complete. The guest is left untouched on the source:
+	// pre-copy rounds never pause it, so there is nothing to resume.
+	abort := func(cause error) (MigrationStats, error) {
+		dst.ReleaseMem(vm.MemBytes)
+		stats.Total = m.engine.Now() - stats.Start
+		m.engine.Tracef("migration aborted %s %s->%s after %d rounds: %v",
+			vm.Name, stats.From, stats.To, stats.Rounds, cause)
+		return stats, fmt.Errorf("xen: migrate %s: %w", vm.Name, cause)
+	}
+
 	// Iterative pre-copy.
 	toSend := vm.MemBytes
 	for {
@@ -93,6 +110,13 @@ func (m *Manager) Migrate(p *sim.Proc, vm *VM, dst *phys.Machine, cfg MigrationC
 		fabric.Transfer(p, "migrate:"+vm.Name, path, toSend)
 		stats.BytesSent += toSend
 		stats.Rounds++
+		if vm.state == StateCrashed || vm.state == StateShutdown {
+			// The guest died mid-round; its memory image is worthless.
+			return abort(ErrVMDead)
+		}
+		if dst.Failed() {
+			return abort(ErrMigrationAborted)
+		}
 		elapsed := m.engine.Now() - before
 		dirtied := vm.DirtyRate() * elapsed
 		if wws := vm.DirtyRate() * cfg.WWSTime; dirtied < wws {
@@ -114,6 +138,16 @@ func (m *Manager) Migrate(p *sim.Proc, vm *VM, dst *phys.Machine, cfg MigrationC
 	vm.pause()
 	fabric.Transfer(p, "migrate-final:"+vm.Name, path, toSend+cfg.CPUStateBytes)
 	stats.BytesSent += toSend + cfg.CPUStateBytes
+	if vm.state == StateCrashed || vm.state == StateShutdown {
+		// Crashed while paused: do not resurrect it by resuming.
+		return abort(ErrVMDead)
+	}
+	if dst.Failed() {
+		// Destination died during downtime: the source still holds the
+		// authoritative image, so resume there and report the abort.
+		vm.resume()
+		return abort(ErrMigrationAborted)
+	}
 	p.Sleep(cfg.ActivationOverhead)
 	vm.host = dst
 	src.ReleaseMem(vm.MemBytes)
@@ -124,4 +158,30 @@ func (m *Manager) Migrate(p *sim.Proc, vm *VM, dst *phys.Machine, cfg MigrationC
 	stats.Total = m.engine.Now() - stats.Start
 	m.engine.Tracef("migrated %s", stats)
 	return stats, nil
+}
+
+// MigrateWithFailover tries to live-migrate vm to each target in order,
+// returning the stats of the first migration that completes. A target that
+// fails mid-flight aborts that attempt (the guest stays on the source) and
+// the next target is tried; a guest that dies mid-migration ends the retry
+// loop immediately, since there is nothing left to move.
+func (m *Manager) MigrateWithFailover(p *sim.Proc, vm *VM, targets []*phys.Machine, cfg MigrationConfig) (MigrationStats, error) {
+	var lastErr error
+	for _, dst := range targets {
+		if dst == vm.host || dst.Failed() {
+			continue
+		}
+		stats, err := m.Migrate(p, vm, dst, cfg)
+		if err == nil {
+			return stats, nil
+		}
+		if errors.Is(err, ErrVMDead) || errors.Is(err, ErrVMStopped) {
+			return stats, err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("xen: migrate %s: no viable migration target", vm.Name)
+	}
+	return MigrationStats{VM: vm.Name, From: vm.host.Name}, lastErr
 }

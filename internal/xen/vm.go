@@ -59,6 +59,7 @@ type VM struct {
 
 	cpuWeight  float64
 	extraDirty float64 // page-dirty rate contributed by running activity
+	inflight   []*sim.Proc // procs parked inside I/O ops touching this VM
 
 	// cumulative counters, read by the nmon monitor
 	cpuUsed    float64 // core-seconds executed
@@ -108,6 +109,36 @@ func (vm *VM) checkAlive(p *sim.Proc) {
 	}
 }
 
+// watch registers p as parked inside a bulk I/O operation touching this VM,
+// so that Crash/Shutdown can abort it immediately — the severed TCP stream
+// or vanished virtual disk a real endpoint failure produces — rather than
+// letting the transfer complete and the death go unnoticed until the next
+// operation. Paired with unwatch via defer, which also runs when the abort
+// itself unwinds p. Exec and Message are not watched: their blocking spans
+// are bounded by the scheduling quantum and sub-millisecond RPC times, so
+// the entry/exit checkAlive already observes death promptly.
+func (vm *VM) watch(p *sim.Proc) { vm.inflight = append(vm.inflight, p) }
+
+// unwatch removes p from the in-flight set; a no-op if already aborted out.
+func (vm *VM) unwatch(p *sim.Proc) {
+	for i, q := range vm.inflight {
+		if q == p {
+			vm.inflight = append(vm.inflight[:i], vm.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// abortInflight aborts every proc parked in an I/O op on this VM, in
+// registration order (deterministic wakeup order).
+func (vm *VM) abortInflight(cause error) {
+	procs := vm.inflight
+	vm.inflight = nil
+	for _, p := range procs {
+		p.Abort(fmt.Errorf("%w: %s", cause, vm.Name))
+	}
+}
+
 // Exec runs cpuSeconds of VCPU work. The VM has a single VCPU, so
 // co-resident tasks time-slice on it quantum by quantum; across VMs the Xen
 // credit scheduler (the host CPU fair-share) stretches quanta when VCPUs
@@ -150,6 +181,8 @@ func (vm *VM) ReadDiskTagged(p *sim.Proc, key string, bytes float64) {
 	vm.gate.WaitOpen(p)
 	vm.checkAlive(p)
 	vm.diskRead += bytes
+	vm.watch(p)
+	defer vm.unwatch(p)
 	if key != "" && vm.host.Cache.Contains(key) {
 		vm.host.MemBus.Use(p, bytes)
 		return
@@ -175,6 +208,8 @@ func (vm *VM) WriteDiskTagged(p *sim.Proc, key string, bytes float64) {
 	vm.gate.WaitOpen(p)
 	vm.checkAlive(p)
 	vm.diskWrite += bytes
+	vm.watch(p)
+	defer vm.unwatch(p)
 	vm.mgr.nfs.Write(p, vm.host, bytes)
 	if key != "" {
 		vm.host.Cache.Insert(key, bytes)
@@ -207,6 +242,12 @@ func (vm *VM) ReadFromDiskTo(p *sim.Proc, dst *VM, bytes float64) {
 		dst.netRecv += bytes
 		path = append(path, topo.Path(vm.host, dst.host)...)
 	}
+	vm.watch(p)
+	defer vm.unwatch(p)
+	if dst != nil && dst != vm {
+		dst.watch(p)
+		defer dst.unwatch(p)
+	}
 	diskDone := vm.mgr.nfs.SubmitRead(bytes)
 	fl := topo.Fabric().StartFlow("disk-relay:"+vm.Name, path, bytes)
 	sim.WaitAll(p, diskDone, fl.Done())
@@ -225,6 +266,10 @@ func (vm *VM) SendTo(p *sim.Proc, dst *VM, bytes float64) {
 	dst.checkAlive(p)
 	vm.netSent += bytes
 	dst.netRecv += bytes
+	vm.watch(p)
+	defer vm.unwatch(p)
+	dst.watch(p)
+	defer dst.unwatch(p)
 	path := vm.mgr.topo.Path(vm.host, dst.host)
 	vm.mgr.topo.Fabric().Transfer(p, vm.Name+"->"+dst.Name, path, bytes)
 }
@@ -266,7 +311,11 @@ func (vm *VM) DirtyRate() float64 {
 }
 
 // Crash marks the VM dead. Blocked and future operations on it abort their
-// processes with ErrVMDead; the memory reservation is released.
+// processes with ErrVMDead — including procs parked mid-transfer inside its
+// I/O operations; the memory reservation is released. The underlying fabric
+// flows of aborted transfers drain to completion unobserved (the fluid model
+// has no mid-flow cancel), a brief ghost of bandwidth a real failed TCP
+// stream also occupies until timeouts fire.
 func (vm *VM) Crash() {
 	if vm.state == StateCrashed || vm.state == StateShutdown {
 		return
@@ -275,11 +324,12 @@ func (vm *VM) Crash() {
 	vm.host.ReleaseMem(vm.MemBytes)
 	// Wake anything parked on the pause gate so it observes the crash.
 	vm.gate.Open()
+	vm.abortInflight(ErrVMDead)
 }
 
 // Shutdown releases the VM cleanly (cloud lease teardown): the memory
-// reservation returns to the host and any late operations abort their
-// processes with ErrVMStopped.
+// reservation returns to the host and any late or in-flight operations
+// abort their processes with ErrVMStopped.
 func (vm *VM) Shutdown() {
 	if vm.state == StateCrashed || vm.state == StateShutdown {
 		return
@@ -287,6 +337,7 @@ func (vm *VM) Shutdown() {
 	vm.state = StateShutdown
 	vm.host.ReleaseMem(vm.MemBytes)
 	vm.gate.Open()
+	vm.abortInflight(ErrVMStopped)
 }
 
 // pause closes the VCPU gate (stop-and-copy).

@@ -268,6 +268,99 @@ func TestMigrateCrashedVMFails(t *testing.T) {
 	}
 }
 
+func TestMigrationAbortsWhenDestinationFails(t *testing.T) {
+	// 1 GB over the ~119 MB/s storage NIC: round 0 alone takes ~8.4s, so a
+	// destination failure at t=2 is observed at the next round boundary. The
+	// guest must keep running on the source with the destination reservation
+	// undone.
+	e, topo, mgr := newTestbed(1)
+	pm1, pm2 := topo.Machines()[0], topo.Machines()[1]
+	vm := mgr.MustDefine("vm1", 1e9, pm1)
+	free := pm2.MemFree()
+	e.At(2, pm2.Fail)
+	var err error
+	e.Spawn("m", func(p *sim.Proc) {
+		_, err = mgr.Migrate(p, vm, pm2, DefaultMigrationConfig())
+	})
+	e.Run()
+	if !errors.Is(err, ErrMigrationAborted) {
+		t.Fatalf("err = %v, want ErrMigrationAborted", err)
+	}
+	if vm.Host() != pm1 || !vm.Running() {
+		t.Fatalf("vm on %s in state %v, want running on pm1", vm.Host(), vm.State())
+	}
+	almost(t, pm2.MemFree(), free, 1, "destination reservation released")
+}
+
+func TestMigrationAbortsWhenVMCrashesMidPreCopy(t *testing.T) {
+	e, topo, mgr := newTestbed(1)
+	pm1, pm2 := topo.Machines()[0], topo.Machines()[1]
+	vm := mgr.MustDefine("vm1", 1e9, pm1)
+	srcFree, dstFree := pm1.MemFree(), pm2.MemFree()
+	e.At(2, vm.Crash)
+	var err error
+	e.Spawn("m", func(p *sim.Proc) {
+		_, err = mgr.Migrate(p, vm, pm2, DefaultMigrationConfig())
+	})
+	e.Run()
+	if !errors.Is(err, ErrVMDead) {
+		t.Fatalf("err = %v, want ErrVMDead", err)
+	}
+	if vm.State() != StateCrashed {
+		t.Fatalf("vm state = %v, want crashed (not resurrected by resume)", vm.State())
+	}
+	almost(t, pm2.MemFree(), dstFree, 1, "destination reservation released")
+	almost(t, pm1.MemFree(), srcFree+1e9, 1, "crash released source memory")
+}
+
+func TestMigrateWithFailoverRetriesNextTarget(t *testing.T) {
+	e, topo, mgr := newTestbed(1)
+	pm1, pm2 := topo.Machines()[0], topo.Machines()[1]
+	pm3 := topo.AddMachine("pm3", phys.MachineSpec{
+		Cores: 8, DRAMBytes: 32e9, DiskBW: 100e6,
+		NICBW: 119e6, NICLat: 0.0001, BridgeBW: 500e6, BridgeLat: 0.00002,
+	})
+	vm := mgr.MustDefine("vm1", 1e9, pm1)
+	e.At(2, pm2.Fail)
+	var stats MigrationStats
+	var err error
+	e.Spawn("m", func(p *sim.Proc) {
+		stats, err = mgr.MigrateWithFailover(p, vm, []*phys.Machine{pm2, pm3}, DefaultMigrationConfig())
+	})
+	e.Run()
+	if err != nil {
+		t.Fatalf("failover migration: %v", err)
+	}
+	if vm.Host() != pm3 || stats.To != "pm3" {
+		t.Fatalf("vm on %s (stats.To=%s), want pm3", vm.Host(), stats.To)
+	}
+}
+
+func TestCrashMachineCrashesResidents(t *testing.T) {
+	e, topo, mgr := newTestbed(1)
+	pm1, pm2 := topo.Machines()[0], topo.Machines()[1]
+	a := mgr.MustDefine("a", 1e9, pm1)
+	b := mgr.MustDefine("b", 1e9, pm1)
+	c := mgr.MustDefine("c", 1e9, pm2)
+	crashed := mgr.CrashMachine(pm1)
+	if len(crashed) != 2 || crashed[0] != a || crashed[1] != b {
+		t.Fatalf("crashed = %v, want [a b]", crashed)
+	}
+	if a.State() != StateCrashed || b.State() != StateCrashed {
+		t.Fatal("co-resident VMs not crashed with their machine")
+	}
+	if c.State() != StateRunning {
+		t.Fatalf("VM on surviving machine in state %v", c.State())
+	}
+	if !pm1.Failed() {
+		t.Fatal("machine not marked failed")
+	}
+	if _, err := mgr.Define("d", 1e9, pm1); err == nil {
+		t.Fatal("failed machine accepted a new VM")
+	}
+	_ = e
+}
+
 func TestBootChargesImageAndBootTime(t *testing.T) {
 	e, topo, mgr := newTestbed(1)
 	vm := mgr.MustDefine("vm1", 1e9, topo.Machines()[0])
