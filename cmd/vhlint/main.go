@@ -6,15 +6,23 @@
 //
 // Usage:
 //
-//	go run ./cmd/vhlint [-list] [packages...]
+//	go run ./cmd/vhlint [-list] [-json] [packages...]
 //
 // Patterns follow go tooling conventions: "./..." (the default) walks
 // every package under the current module; "./internal/sim" names one
-// package. The exit status is 0 when the tree is clean and 1 when any
-// analyzer reports a diagnostic, so CI can gate on it directly.
+// package. The exit status is 0 when the tree is clean, 1 when any
+// analyzer reports an active diagnostic, and 2 on a load or usage
+// error, so CI can gate on it directly.
+//
+// -json emits one JSON object per line (file/line/column/analyzer/
+// message/suppressed) instead of the vet format. The stream is an audit
+// view: findings silenced by //vhlint:allow annotations appear with
+// "suppressed": true, but only active findings count toward the exit
+// status.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,10 +31,21 @@ import (
 	"vhadoop/internal/lint"
 )
 
+// jsonDiag is the one-line-per-finding schema -json emits.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per finding, including suppressed ones")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vhlint [-list] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: vhlint [-list] [-json] [packages...]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -52,11 +71,30 @@ func main() {
 		fatal(err)
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	nDiags := 0
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir, "")
 		if err != nil {
 			fatal(err)
+		}
+		if *jsonOut {
+			for _, d := range lint.RunAllDiagnostics(pkg) {
+				if !d.Suppressed {
+					nDiags++
+				}
+				if err := enc.Encode(jsonDiag{
+					File:       relFile(wd, d.Pos.Filename),
+					Line:       d.Pos.Line,
+					Column:     d.Pos.Column,
+					Analyzer:   d.Analyzer,
+					Message:    d.Message,
+					Suppressed: d.Suppressed,
+				}); err != nil {
+					fatal(err)
+				}
+			}
+			continue
 		}
 		for _, d := range lint.RunAll(pkg) {
 			nDiags++
@@ -69,11 +107,17 @@ func main() {
 	}
 }
 
+func relFile(wd, filename string) string {
+	//vhlint:allow errflow -- display-only: an unrelatable filename is printed absolute, which is still a correct position
+	if rel, err := filepath.Rel(wd, filename); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return filename
+}
+
 func relPos(wd string, d lint.Diagnostic) string {
 	p := d.Pos
-	if rel, err := filepath.Rel(wd, p.Filename); err == nil && !filepath.IsAbs(rel) {
-		p.Filename = rel
-	}
+	p.Filename = relFile(wd, p.Filename)
 	return p.String()
 }
 

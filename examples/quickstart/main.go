@@ -42,9 +42,16 @@ func main() {
 		word string
 		n    int
 	}
-	top := make([]wc, 0, len(res.Counts))
-	for w, n := range res.Counts {
-		top = append(top, wc{w, n})
+	// Build the ranking from sorted words so the printed top-10 is
+	// deterministic by construction, not by the tiebreak below.
+	words := make([]string, 0, len(res.Counts))
+	for w := range res.Counts {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	top := make([]wc, 0, len(words))
+	for _, w := range words {
+		top = append(top, wc{w, res.Counts[w]})
 	}
 	sort.Slice(top, func(i, j int) bool {
 		if top[i].n != top[j].n {

@@ -235,9 +235,9 @@ func DirichletMR(p *sim.Proc, d *Driver, opts DirichletOptions) (Result, error) 
 
 		acc := make([]*partial, len(models))
 		for _, kv := range out {
-			idx, err := strconv.Atoi(kv.Key[1:])
-			if err != nil || idx < 0 || idx >= len(models) {
-				return res, fmt.Errorf("clustering: bad reduce key %q", kv.Key)
+			idx, err := reduceIndex(kv.Key, len(models))
+			if err != nil {
+				return res, err
 			}
 			acc[idx] = kv.Value.(*partial)
 		}

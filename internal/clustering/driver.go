@@ -2,12 +2,31 @@ package clustering
 
 import (
 	"fmt"
+	"strconv"
 
 	"vhadoop/internal/core"
 	"vhadoop/internal/datasets"
 	"vhadoop/internal/mapreduce"
 	"vhadoop/internal/sim"
 )
+
+// reduceIndex parses the numeric part of a "c<idx>"-style reduce key
+// and bounds-checks it against n cluster slots. The parse failure is
+// propagated, not replaced: a malformed key is a mapper bug, and the
+// strconv cause says which kind.
+func reduceIndex(key string, n int) (int, error) {
+	if len(key) < 2 {
+		return 0, fmt.Errorf("clustering: reduce key %q has no index", key)
+	}
+	idx, err := strconv.Atoi(key[1:])
+	if err != nil {
+		return 0, fmt.Errorf("clustering: bad reduce key %q: %w", key, err)
+	}
+	if idx < 0 || idx >= n {
+		return 0, fmt.Errorf("clustering: reduce key %q out of range [0,%d)", key, n)
+	}
+	return idx, nil
+}
 
 // Result is the outcome of one clustering run (in-memory or MapReduce).
 type Result struct {

@@ -175,9 +175,9 @@ func KMeansMR(p *sim.Proc, d *Driver, initial []Vector, opts KMeansOptions) (Res
 			next[i] = centers[i].Clone() // empty clusters keep their center
 		}
 		for _, kv := range out {
-			idx, err := strconv.Atoi(kv.Key[1:])
-			if err != nil || idx < 0 || idx >= len(next) {
-				return res, fmt.Errorf("clustering: bad reduce key %q", kv.Key)
+			idx, err := reduceIndex(kv.Key, len(next))
+			if err != nil {
+				return res, err
 			}
 			next[idx] = kv.Value.(Vector)
 		}

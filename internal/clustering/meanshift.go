@@ -186,9 +186,9 @@ func MeanShiftMR(p *sim.Proc, d *Driver, opts MeanShiftOptions) (Result, error) 
 			moved[i] = centers[i].Clone()
 		}
 		for _, kv := range out {
-			idx, err := strconv.Atoi(kv.Key[1:])
-			if err != nil || idx < 0 || idx >= len(moved) {
-				return res, fmt.Errorf("clustering: bad reduce key %q", kv.Key)
+			idx, err := reduceIndex(kv.Key, len(moved))
+			if err != nil {
+				return res, err
 			}
 			moved[idx] = kv.Value.(Vector)
 		}

@@ -146,9 +146,18 @@ func unionGroups(n int, groups map[string][]int) ([][]int, []int) {
 	}
 	// Canonical order: members ascending within a cluster, clusters by
 	// smallest member — independent of union order, so the MapReduce run
-	// and the reference produce identical numbering.
-	var clusters [][]int
-	for _, members := range byRoot {
+	// and the reference produce identical numbering. Build from sorted
+	// roots, not map-visit order, so the construction is deterministic by
+	// inspection (and provable to detflow) rather than argued from the
+	// comparator never tying.
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	clusters := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		members := byRoot[r]
 		sort.Ints(members)
 		clusters = append(clusters, members)
 	}
@@ -227,7 +236,10 @@ func MinHashMR(p *sim.Proc, d *Driver, opts MinHashOptions) (Result, error) {
 				for i, v := range values {
 					id, err := strconv.Atoi(strings.TrimPrefix(v.(string), "v"))
 					if err != nil {
-						continue
+						// A malformed id is a mapper bug. Skipping the value
+						// would silently leave a spurious vector 0 in the
+						// cluster; fail the simulated process loudly instead.
+						panic(fmt.Sprintf("clustering: minhash reducer: malformed vector id %v: %v", v, err))
 					}
 					ids[i] = id
 				}

@@ -668,7 +668,12 @@ func (c *Cluster) ReReplicate(p *sim.Proc) int {
 				}
 			})
 			if err := sim.WaitProcs(p, xfer); err != nil {
-				break // a later monitor pass re-picks source and target
+				// A later monitor pass re-picks source and target, but the
+				// cause must reach the trace: a silently dropped transfer
+				// failure here is indistinguishable from the monitor never
+				// trying, which makes chaos-run divergence undiagnosable.
+				p.Engine().Tracef("hdfs: re-replication of block %d of %s failed: %v", b.ID, b.File, err)
+				break
 			}
 			target.blocks[b.ID] = b
 			target.used += b.Size

@@ -9,9 +9,10 @@ import (
 
 // Directive kinds.
 const (
-	DirectiveAllow = "allow" // //vhlint:allow <analyzer> -- <reason>
-	DirectiveHot   = "hot"   // //vhlint:hot on a function's doc comment
-	DirectiveBad   = "bad"   // malformed; Err explains why
+	DirectiveAllow   = "allow"   // //vhlint:allow <analyzer> -- <reason>
+	DirectiveHot     = "hot"     // //vhlint:hot on a function's doc comment
+	DirectiveDetsafe = "detsafe" // //vhlint:detsafe -- <reason> on a function's doc comment
+	DirectiveBad     = "bad"     // malformed; Err explains why
 )
 
 // Directive is one parsed //vhlint: source annotation.
@@ -71,12 +72,20 @@ func parseDirective(text string) *Directive {
 			return &Directive{Kind: DirectiveBad, Err: fmt.Sprintf("malformed //vhlint:allow %s: missing '-- <reason>' justification", name)}
 		}
 		return &Directive{Kind: DirectiveAllow, Analyzer: name, Reason: reason}
+	case text == "detsafe" || strings.HasPrefix(text, "detsafe "):
+		rest := strings.TrimSpace(strings.TrimPrefix(text, "detsafe"))
+		_, reason, found := strings.Cut(rest, "--")
+		reason = strings.TrimSpace(reason)
+		if !found || reason == "" {
+			return &Directive{Kind: DirectiveBad, Err: "malformed //vhlint:detsafe: missing '-- <reason>' justification"}
+		}
+		return &Directive{Kind: DirectiveDetsafe, Reason: reason}
 	default:
 		word := text
 		if i := strings.IndexAny(word, " \t"); i >= 0 {
 			word = word[:i]
 		}
-		return &Directive{Kind: DirectiveBad, Err: fmt.Sprintf("unknown //vhlint: directive %q (known: allow, hot)", word)}
+		return &Directive{Kind: DirectiveBad, Err: fmt.Sprintf("unknown //vhlint: directive %q (known: allow, detsafe, hot)", word)}
 	}
 }
 
@@ -89,24 +98,36 @@ func knownAnalyzer(name string) bool {
 	return false
 }
 
-// hotFuncs returns the function declarations annotated //vhlint:hot,
-// matched by the directive appearing inside the function's doc comment.
-func hotFuncs(pass *Pass) map[*ast.FuncDecl]bool {
-	hot := make(map[*ast.FuncDecl]bool)
-	for _, f := range pass.Files {
+// annotatedFuncs returns the function declarations carrying a directive
+// of the given kind, matched by the directive appearing inside the
+// function's doc comment.
+func annotatedFuncs(files []*ast.File, directives []*Directive, kind string) map[*ast.FuncDecl]bool {
+	out := make(map[*ast.FuncDecl]bool)
+	for _, f := range files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Doc == nil {
 				continue
 			}
-			for _, d := range pass.directives {
-				if d.Kind == DirectiveHot && d.TokPos >= fd.Doc.Pos() && d.TokPos <= fd.Doc.End() {
-					hot[fd] = true
+			for _, d := range directives {
+				if d.Kind == kind && d.TokPos >= fd.Doc.Pos() && d.TokPos <= fd.Doc.End() {
+					out[fd] = true
 				}
 			}
 		}
 	}
-	return hot
+	return out
+}
+
+// hotFuncs returns the function declarations annotated //vhlint:hot.
+func hotFuncs(pass *Pass) map[*ast.FuncDecl]bool {
+	return annotatedFuncs(pass.Files, pass.directives, DirectiveHot)
+}
+
+// detsafeFuncs returns the function declarations annotated
+// //vhlint:detsafe for the given package.
+func detsafeFuncs(pkg *Package) map[*ast.FuncDecl]bool {
+	return annotatedFuncs(pkg.Files, pkg.Directives(), DirectiveDetsafe)
 }
 
 // Directives reports malformed //vhlint: annotations, hot annotations
@@ -120,7 +141,7 @@ var Directives = &Analyzer{
 }
 
 func runDirectives(pass *Pass) {
-	attached := hotDirectivePositions(pass)
+	attached := attachedDirectivePositions(pass)
 	for _, d := range pass.directives {
 		switch d.Kind {
 		case DirectiveBad:
@@ -128,6 +149,10 @@ func runDirectives(pass *Pass) {
 		case DirectiveHot:
 			if !attached[d.TokPos] {
 				pass.Reportf(d.TokPos, "//vhlint:hot is not attached to a function declaration's doc comment")
+			}
+		case DirectiveDetsafe:
+			if !attached[d.TokPos] {
+				pass.Reportf(d.TokPos, "//vhlint:detsafe is not attached to a function declaration's doc comment")
 			}
 		case DirectiveAllow:
 			for _, a := range All() {
@@ -139,7 +164,9 @@ func runDirectives(pass *Pass) {
 	}
 }
 
-func hotDirectivePositions(pass *Pass) map[token.Pos]bool {
+// attachedDirectivePositions marks the hot/detsafe directives that sit
+// inside some function declaration's doc comment.
+func attachedDirectivePositions(pass *Pass) map[token.Pos]bool {
 	out := make(map[token.Pos]bool)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -148,7 +175,8 @@ func hotDirectivePositions(pass *Pass) map[token.Pos]bool {
 				continue
 			}
 			for _, d := range pass.directives {
-				if d.Kind == DirectiveHot && d.TokPos >= fd.Doc.Pos() && d.TokPos <= fd.Doc.End() {
+				if (d.Kind == DirectiveHot || d.Kind == DirectiveDetsafe) &&
+					d.TokPos >= fd.Doc.Pos() && d.TokPos <= fd.Doc.End() {
 					out[d.TokPos] = true
 				}
 			}

@@ -77,6 +77,8 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 			}
 		}
 		switch e := n.(type) {
+		case *ast.AssignStmt:
+			checkAppendGrowth(pass, fd, e, stack)
 		case *ast.CallExpr:
 			if fn := calleeFunc(pass, e); fn != nil && fn.Pkg() != nil &&
 				fn.Pkg().Path() == "fmt" && isPackageLevelFunc(fn) {
@@ -98,6 +100,97 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 		stack = append(stack, n)
 		return true
 	})
+}
+
+// checkAppendGrowth flags s = append(s, ...) inside a loop of a hot
+// function when s is a local slice declared without capacity: each
+// growth past the backing array reallocates and copies, exactly the
+// amortized churn the hot annotation promises away. Parameters and
+// slices pre-sized with a three-argument make are exempt.
+func checkAppendGrowth(pass *Pass, fd *ast.FuncDecl, a *ast.AssignStmt, stack []ast.Node) {
+	if !insideLoop(stack) || len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		call, ok := ast.Unparen(a.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fid.Name != "append" || !isBuiltin(pass, fid) || len(call.Args) == 0 {
+			continue
+		}
+		obj := identObj(pass, lhs)
+		if obj == nil {
+			obj = definedObj(pass, lhs)
+		}
+		if obj == nil || obj != identObj(pass, call.Args[0]) {
+			continue // only self-appends grow a tracked slice
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || !uncappedLocalSlice(pass, fd, v) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "append growth of %s in a loop inside hot function %s reallocates as the slice grows; pre-size it with make(len, cap) before the loop", v.Name(), fd.Name.Name)
+	}
+}
+
+// uncappedLocalSlice reports whether v is a slice declared inside fd's
+// body with no capacity reserve: `var s []T`, `s := []T{...}`, or a
+// make with fewer than three arguments. Parameters and slices built by
+// other calls (unknown capacity) are not flagged.
+func uncappedLocalSlice(pass *Pass, fd *ast.FuncDecl, v *types.Var) bool {
+	if _, ok := v.Type().Underlying().(*types.Slice); !ok {
+		return false
+	}
+	if fd.Body == nil || v.Pos() < fd.Body.Pos() || v.Pos() > fd.Body.End() {
+		return false // parameter, receiver, or package-level
+	}
+	uncapped := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if definedObj(pass, lhs) != types.Object(v) || i >= len(n.Rhs) {
+					continue
+				}
+				uncapped = uncappedInit(pass, n.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] != types.Object(v) {
+					continue
+				}
+				if i >= len(n.Values) {
+					uncapped = true // var s []T: nil slice, zero capacity
+				} else {
+					uncapped = uncappedInit(pass, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return uncapped
+}
+
+// uncappedInit reports whether the initializer provably reserves no
+// spare capacity: a composite literal or a make without a capacity
+// argument. Anything else (another call, a slice expression) may carry
+// capacity we cannot see, so it is not flagged.
+func uncappedInit(pass *Pass, rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		fid, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if ok && fid.Name == "make" && isBuiltin(pass, fid) {
+			return len(e.Args) < 3
+		}
+	}
+	return false
 }
 
 // directCallUse reports whether the identifier at the top of the walk

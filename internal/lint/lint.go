@@ -21,6 +21,16 @@
 //     escaping closures inside functions annotated //vhlint:hot.
 //   - floataccum: floating-point accumulation whose summation order
 //     depends on map iteration.
+//   - detflow:    interprocedural taint from nondeterminism sources
+//     (wall clock, global rand, map iteration order) into trace, nmon
+//     and program-output sinks, via call-graph function summaries.
+//   - errflow:    error values that are produced and then dropped
+//     (checked but never returned, traced, stored or passed on) or
+//     overwritten unexamined — the failure mode that silently loses
+//     recovery-path faults.
+//   - lockfree:   goroutines, channels, select and sync primitives in
+//     simulator-driven code; the engine's strict hand-off core is the
+//     only sanctioned concurrency.
 //   - vhdirective: malformed or misplaced //vhlint: annotations.
 //
 // Suppression uses source annotations, validated by the suite itself:
@@ -29,7 +39,9 @@
 //
 // on the flagged line or the line directly above. A malformed allow (no
 // reason) is itself a diagnostic, and an allow that suppresses nothing
-// is reported as stale.
+// is reported as stale. Whole functions whose determinism is argued by
+// hand are exempted from detflow with //vhlint:detsafe -- <reason> on
+// the function's doc comment.
 package lint
 
 import (
@@ -40,11 +52,14 @@ import (
 	"sort"
 )
 
-// Diagnostic is one analyzer finding.
+// Diagnostic is one analyzer finding. Suppressed marks findings silenced
+// by a //vhlint:allow annotation; they are filtered from the default
+// output but surfaced by cmd/vhlint -json for audit.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -70,6 +85,7 @@ type Pass struct {
 	TypesInfo *types.Info
 	PkgPath   string
 
+	pkg        *Package // carries the loader back-pointer for interprocedural queries
 	directives []*Directive
 	diags      []Diagnostic
 }
@@ -89,7 +105,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 var all []*Analyzer
 
 func init() {
-	all = []*Analyzer{MapOrder, SimClock, HotAlloc, FloatAccum, Directives}
+	all = []*Analyzer{MapOrder, SimClock, HotAlloc, FloatAccum, DetFlow, ErrFlow, LockFree, Directives}
 }
 
 // All returns every analyzer in the suite, in reporting order.
@@ -109,6 +125,17 @@ func AnalyzerNames() []string {
 // any allow that suppressed nothing is reported as stale. The caller is
 // responsible for honouring a.AppliesTo.
 func RunAnalyzer(pkg *Package, a *Analyzer) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range runAnalyzer(pkg, a) {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// runAnalyzer is RunAnalyzer keeping suppressed diagnostics, marked.
+func runAnalyzer(pkg *Package, a *Analyzer) []Diagnostic {
 	pass := &Pass{
 		Analyzer:   a,
 		Fset:       pkg.Fset,
@@ -116,6 +143,7 @@ func RunAnalyzer(pkg *Package, a *Analyzer) []Diagnostic {
 		Pkg:        pkg.Types,
 		TypesInfo:  pkg.Info,
 		PkgPath:    pkg.Path,
+		pkg:        pkg,
 		directives: pkg.Directives(),
 	}
 	a.Run(pass)
@@ -129,35 +157,31 @@ func RunAnalyzer(pkg *Package, a *Analyzer) []Diagnostic {
 			allows = append(allows, d)
 		}
 	}
-	var kept []Diagnostic
-	for _, diag := range pass.diags {
-		suppressed := false
+	out := pass.diags
+	for i, diag := range out {
 		for _, al := range allows {
 			if al.Pos.Filename == diag.Pos.Filename &&
 				(al.Pos.Line == diag.Pos.Line || al.Pos.Line == diag.Pos.Line-1) {
 				al.used = true
-				suppressed = true
+				out[i].Suppressed = true
 			}
-		}
-		if !suppressed {
-			kept = append(kept, diag)
 		}
 	}
 	for _, al := range allows {
 		if !al.used {
-			kept = append(kept, Diagnostic{
+			out = append(out, Diagnostic{
 				Pos:      al.Pos,
 				Analyzer: a.Name,
 				Message:  fmt.Sprintf("stale //vhlint:allow %s annotation: it suppresses nothing", a.Name),
 			})
 		}
 	}
-	sortDiagnostics(kept)
-	return kept
+	sortDiagnostics(out)
+	return out
 }
 
 // RunAll runs every applicable analyzer on pkg and returns the combined
-// diagnostics in file/line order.
+// active diagnostics in file/line order.
 func RunAll(pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, a := range All() {
@@ -165,6 +189,20 @@ func RunAll(pkg *Package) []Diagnostic {
 			continue
 		}
 		out = append(out, RunAnalyzer(pkg, a)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// RunAllDiagnostics is RunAll including suppressed diagnostics, each
+// marked with Suppressed=true — the audit view cmd/vhlint -json emits.
+func RunAllDiagnostics(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range All() {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		out = append(out, runAnalyzer(pkg, a)...)
 	}
 	sortDiagnostics(out)
 	return out

@@ -23,6 +23,7 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
+	loader     *Loader // back-pointer for interprocedural queries
 	directives []*Directive
 	parsedDirs bool
 }
@@ -50,6 +51,7 @@ type Loader struct {
 	byDir   map[string]*Package
 	loading map[string]bool
 	stdlib  types.Importer
+	ip      *interproc // lazily-built cross-package analysis state
 }
 
 // NewLoader locates go.mod upward from dir (or the working directory if
@@ -83,6 +85,7 @@ func findModule(dir string) (root, modPath string, err error) {
 		return "", "", err
 	}
 	for {
+		//vhlint:allow errflow -- probe: a missing go.mod at this level just walks up; only exhausting every parent is an error
 		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
 		if err == nil {
 			for _, line := range strings.Split(string(data), "\n") {
@@ -149,18 +152,20 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
 	}
 	pkg := &Package{
-		Path:  importPath,
-		Dir:   abs,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:   importPath,
+		Dir:    abs,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
 	}
 	l.byDir[abs] = pkg
 	return pkg, nil
 }
 
 func (l *Loader) importPathFor(abs string) string {
+	//vhlint:allow errflow -- best-effort: an unrelatable path falls back to the absolute form, which is still a usable synthetic import path
 	rel, err := filepath.Rel(l.RepoRoot, abs)
 	if err != nil || strings.HasPrefix(rel, "..") {
 		return abs
@@ -203,6 +208,7 @@ func Expand(base string, patterns []string) ([]string, error) {
 	seen := make(map[string]bool)
 	var dirs []string
 	add := func(dir string) {
+		//vhlint:allow errflow -- best-effort: a dir that cannot be made absolute is dropped from the pattern expansion, matching go tooling
 		abs, err := filepath.Abs(dir)
 		if err != nil {
 			return
@@ -250,6 +256,7 @@ func Expand(base string, patterns []string) ([]string, error) {
 }
 
 func hasGoFiles(dir string) bool {
+	//vhlint:allow errflow -- the error is the answer: ImportDir failing means "no buildable Go files", which is this predicate's false
 	_, err := build.Default.ImportDir(dir, 0)
 	return err == nil
 }

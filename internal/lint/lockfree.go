@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockFree forbids concurrency machinery in simulator-driven code. The
+// engine's run loop and its strict hand-off pair (Engine.handoff,
+// Proc.resume) are the only sanctioned goroutine coordination in the
+// tree; everything else executes single-threaded under the virtual
+// clock, which is what makes fixed-seed replay bit-identical. A stray
+// `go` statement, channel, select, mutex, or atomic anywhere else
+// introduces host-scheduler ordering that no seed pins down — and a
+// mutex in single-threaded code is at best dead weight, at worst a sign
+// the author believed two things run at once.
+//
+// Flagged: go statements, select, channel types, channel sends and
+// receives, range over a channel, and any reference into sync or
+// sync/atomic. The engine core carries per-site
+// //vhlint:allow lockfree annotations documenting the hand-off
+// invariant each site maintains.
+var LockFree = &Analyzer{
+	Name:      "lockfree",
+	Doc:       "forbid concurrency primitives outside the engine's strict hand-off core",
+	AppliesTo: determinismCritical,
+	Run:       runLockFree,
+}
+
+func runLockFree(pass *Pass) {
+	walkStack(pass, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in simulator-driven code: goroutine completion order is host-scheduler state that no seed reproduces")
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select in simulator-driven code: ready-case choice is nondeterministic")
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send in simulator-driven code: cross-goroutine ordering is not replayable")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive in simulator-driven code: cross-goroutine ordering is not replayable")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					pass.Reportf(n.For, "range over a channel in simulator-driven code: delivery order tracks goroutine scheduling")
+				}
+			}
+		case *ast.ChanType:
+			pass.Reportf(n.Pos(), "channel type in simulator-driven code: the engine's hand-off channels are the only sanctioned concurrency")
+		case *ast.SelectorExpr:
+			obj := pass.TypesInfo.Uses[n.Sel]
+			if obj != nil && obj.Pkg() != nil {
+				switch obj.Pkg().Path() {
+				case "sync", "sync/atomic":
+					pass.Reportf(n.Pos(), "%s.%s in simulator-driven code: locks and atomics imply real concurrency, which the single-threaded core must not have", obj.Pkg().Name(), obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,142 @@
+// Test fixtures for the errflow analyzer: error values produced by a
+// call that can actually fail, then dropped, overwritten unexamined, or
+// checked without the failure ever escaping the function.
+package errflow
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+// flaky can actually fail, so dropping its error is reportable.
+func flaky() error { return errBoom }
+
+// alwaysNil provably cannot fail; its summary exempts callers.
+func alwaysNil() error { return nil }
+
+// forwardsNil only forwards alwaysNil, so it cannot fail either — the
+// may-fail summary recurses through forwarded calls.
+func forwardsNil() error { return alwaysNil() }
+
+// propagated is the correct shape: checked, then returned.
+func propagated() error {
+	err := flaky()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkedOnly observes the failure and then discards its cause: the
+// error never leaves the function.
+func checkedOnly() {
+	err := flaky() // want "checked but never escapes this function"
+	if err != nil {
+		return
+	}
+}
+
+// declaredAndDropped is checkedOnly through a var declaration with an
+// initializer instead of a short variable declaration.
+func declaredAndDropped() {
+	var err error = flaky() // want "checked but never escapes this function"
+	if err != nil {
+		return
+	}
+}
+
+// clobbered overwrites the first error without ever looking at it.
+func clobbered() error {
+	err := flaky() // want "overwritten before it is even checked"
+	err = flaky()
+	return err
+}
+
+// checkedThenClobbered checks the first error but lets the reassignment
+// destroy the cause before it can escape.
+func checkedThenClobbered() (int, error) {
+	retries := 0
+	err := flaky() // want "before being overwritten"
+	if err != nil {
+		retries++
+	}
+	err = flaky()
+	return retries, err
+}
+
+// infallibleDropped is clean: alwaysNil provably returns nil, so there
+// is no failure to lose.
+func infallibleDropped() {
+	err := alwaysNil()
+	if err != nil {
+		return
+	}
+}
+
+// forwardedInfallibleDropped is clean through the recursive summary.
+func forwardedInfallibleDropped() {
+	err := forwardsNil()
+	if err != nil {
+		return
+	}
+}
+
+// noteFailure stands in for any handler the error is passed to.
+func noteFailure(err error) {}
+
+// handedOff is clean: passing the error to a call lets it escape.
+func handedOff() {
+	err := flaky()
+	if err != nil {
+		noteFailure(err)
+	}
+}
+
+type result struct{ err error }
+
+// storedInField is clean: the error escapes into a struct slot.
+func storedInField(r *result) {
+	err := flaky()
+	r.err = err
+}
+
+// retryLoop is clean: the error written inside the loop escapes via the
+// return after it — uses anywhere in the enclosing loop's interval (or
+// after the final write) count.
+func retryLoop() error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = flaky()
+		if err == nil {
+			break
+		}
+	}
+	return err
+}
+
+// capturedByClosure is skipped entirely: the closure may run at any
+// time, so the positional write/use model cannot order its accesses.
+func capturedByClosure(run func(func())) {
+	var err error
+	run(func() {
+		err = flaky()
+	})
+	if err != nil {
+		return
+	}
+}
+
+// allowedProbe documents a deliberate check-and-drop.
+func allowedProbe() {
+	//vhlint:allow errflow -- test fixture: probe call, failure only means the fast path is unavailable
+	err := flaky()
+	if err != nil {
+		return
+	}
+}
+
+// staleAllowed annotates a site that drops nothing.
+func staleAllowed() error {
+	//vhlint:allow errflow -- test fixture: propagated error needs no allow // want "stale //vhlint:allow errflow"
+	err := flaky()
+	return err
+}

@@ -96,3 +96,70 @@ func hotStaleAllow(xs []int) int {
 	}
 	return n
 }
+
+// hotAppendGrowth grows an uncapped local slice element by element:
+// every growth past the backing array reallocates and copies.
+//
+//vhlint:hot
+func hotAppendGrowth(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*x) // want "append growth of out in a loop"
+	}
+	return out
+}
+
+// hotAppendLiteral is the same churn through a literal initializer.
+//
+//vhlint:hot
+func hotAppendLiteral(xs []int) []int {
+	out := []int{}
+	for _, x := range xs {
+		out = append(out, x) // want "append growth of out in a loop"
+	}
+	return out
+}
+
+// hotAppendTwoArgMake reserves length but no spare capacity.
+//
+//vhlint:hot
+func hotAppendTwoArgMake(xs []int) []int {
+	out := make([]int, 0)
+	for _, x := range xs {
+		out = append(out, x) // want "append growth of out in a loop"
+	}
+	return out
+}
+
+// hotAppendPresized is the blessed idiom: capacity reserved up front,
+// so the in-loop appends never grow the backing array.
+//
+//vhlint:hot
+func hotAppendPresized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// hotAppendToParam appends to a caller-provided slice whose capacity is
+// the caller's business, so it is not flagged.
+//
+//vhlint:hot
+func hotAppendToParam(dst []int, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// hotAppendOutsideLoop grows once, outside any loop: amortisation is
+// the loop's problem, a single append is not.
+//
+//vhlint:hot
+func hotAppendOutsideLoop(xs []int) []int {
+	var out []int
+	out = append(out, xs...)
+	return out
+}

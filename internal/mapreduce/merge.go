@@ -168,7 +168,9 @@ func reduceSorted(kvs []KV, red Reducer) []KV {
 	emit := func(key string, value any, size float64) {
 		out = append(out, KV{Key: key, Value: value, Size: size})
 	}
-	var values []any
+	// Sized to the worst case (one group holding every record) so the
+	// per-group reslice below never regrows mid-stream.
+	values := make([]any, 0, len(kvs))
 	for i := 0; i < len(kvs); {
 		end := i + 1
 		for end < len(kvs) && kvs[end].Key == kvs[i].Key {

@@ -87,17 +87,31 @@ func recommendFrom(co map[string]map[string]float64, seen []string, topN int) []
 	for _, it := range seen {
 		seenSet[it] = true
 	}
+	// Accumulate and rank in sorted-key order throughout: the candidate
+	// list that reaches job output must be deterministic by construction,
+	// not by a comparator argued never to tie on map-visit-ordered input.
 	scores := make(map[string]float64)
 	for _, it := range seen {
-		for other, n := range co[it] {
+		row := co[it]
+		others := make([]string, 0, len(row))
+		for other := range row {
+			others = append(others, other)
+		}
+		sort.Strings(others)
+		for _, other := range others {
 			if !seenSet[other] {
-				scores[other] += n
+				scores[other] += row[other]
 			}
 		}
 	}
-	out := make([]Rec, 0, len(scores))
-	for it, s := range scores {
-		out = append(out, Rec{Item: it, Score: s})
+	items := make([]string, 0, len(scores))
+	for it := range scores {
+		items = append(items, it)
+	}
+	sort.Strings(items)
+	out := make([]Rec, 0, len(items))
+	for _, it := range items {
+		out = append(out, Rec{Item: it, Score: scores[it]})
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Score != out[b].Score {

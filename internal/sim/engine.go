@@ -23,18 +23,21 @@ type Engine struct {
 	seq     uint64
 	procSeq uint64 // spawn-order stamp, so teardown order is reproducible
 	rng     *rand.Rand
-	handoff chan struct{}  // processes signal the run loop here
-	procs   map[*Proc]bool // all live processes
-	current *Proc          // process currently executing, nil in engine context
-	stopped bool           // set by Stop / Shutdown
-	tracef  func(Time, string, ...any)
+	//vhlint:allow lockfree -- hand-off core: handoff is the process->engine half of the strict baton pair; see dispatch
+	handoff   chan struct{}  // processes signal the run loop here
+	procs     map[*Proc]bool // all live processes
+	current   *Proc          // process currently executing, nil in engine context
+	stopped   bool           // set by Stop / Shutdown
+	procPanic string         // pending process-bug report, re-panicked by dispatch in engine context
+	tracef    func(Time, string, ...any)
 }
 
 // New returns an Engine whose pseudo-random stream is derived from seed.
 // The same seed always reproduces the same simulation.
 func New(seed int64) *Engine {
 	return &Engine{
-		rng:     rand.New(rand.NewSource(seed)),
+		rng: rand.New(rand.NewSource(seed)),
+		//vhlint:allow lockfree -- hand-off core: unbuffered by design, so a baton pass is a rendezvous and both sides can never run at once
 		handoff: make(chan struct{}),
 		procs:   make(map[*Proc]bool),
 	}
@@ -89,8 +92,9 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		engine:   e,
 		name:     name,
 		spawnSeq: e.procSeq,
-		resume:   make(chan struct{}),
-		done:     NewDone(e),
+		//vhlint:allow lockfree -- hand-off core: per-process engine->process baton, unbuffered rendezvous
+		resume: make(chan struct{}),
+		done:   NewDone(e),
 	}
 	e.procs[p] = true
 	e.At(e.now, func() { p.start(fn) })
@@ -104,8 +108,9 @@ func (e *Engine) SpawnAfter(d Time, name string, fn func(p *Proc)) *Proc {
 		engine:   e,
 		name:     name,
 		spawnSeq: e.procSeq,
-		resume:   make(chan struct{}),
-		done:     NewDone(e),
+		//vhlint:allow lockfree -- hand-off core: per-process engine->process baton, unbuffered rendezvous
+		resume: make(chan struct{}),
+		done:   NewDone(e),
 	}
 	e.procs[p] = true
 	e.After(d, func() { p.start(fn) })
@@ -143,15 +148,24 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
-// dispatch transfers control to p until it blocks or terminates.
+// dispatch transfers control to p until it blocks or terminates. A
+// panic that escaped the process body is re-raised here, in engine
+// context, so the failure is synchronous and lands on the goroutine
+// that called Run — deterministic and recoverable by tests.
 func (e *Engine) dispatch(p *Proc) {
 	if p.terminated {
 		return
 	}
 	e.current = p
+	//vhlint:allow lockfree -- hand-off core: pass the baton to the process...
 	p.resume <- struct{}{}
+	//vhlint:allow lockfree -- hand-off core: ...and block until it comes back; the engine never runs concurrently with a process
 	<-e.handoff
 	e.current = nil
+	if msg := e.procPanic; msg != "" {
+		e.procPanic = ""
+		panic(msg)
+	}
 }
 
 // Stop halts the run loop after the current event completes. Queued events

@@ -281,3 +281,29 @@ func TestAbortTerminatedProcessIsNoop(t *testing.T) {
 		t.Fatalf("err = %v on completed process", p.Err())
 	}
 }
+
+// A panic escaping a process body must surface synchronously in engine
+// context (the goroutine that called Run), not on the process goroutine
+// where no recover can reach it and where the engine would keep
+// executing events concurrently with the crash.
+func TestProcessPanicSurfacesInEngineContext(t *testing.T) {
+	e := New(1)
+	e.Spawn("buggy", func(p *Proc) {
+		p.Sleep(1)
+		panic("boom")
+	})
+	witness := 0
+	e.At(5, func() { witness++ })
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || msg != `sim: process "buggy" panicked: boom` {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+		if witness != 0 {
+			t.Fatalf("engine kept executing events after the process bug: witness=%d", witness)
+		}
+	}()
+	e.Run()
+	t.Fatal("Run returned; expected the process panic to propagate")
+}

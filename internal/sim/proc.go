@@ -11,9 +11,10 @@ func (e errKilled) Error() string { return "sim: process killed: " + e.name }
 // strict hand-off discipline. All Proc methods must be called from the
 // process's own goroutine.
 type Proc struct {
-	engine     *Engine
-	name       string
-	spawnSeq   uint64 // creation order, the engine's teardown order
+	engine   *Engine
+	name     string
+	spawnSeq uint64 // creation order, the engine's teardown order
+	//vhlint:allow lockfree -- hand-off core: resume carries the engine->process baton; exactly one of the pair runs at any instant
 	resume     chan struct{}
 	done       *Done
 	started    bool
@@ -27,10 +28,13 @@ type Proc struct {
 // event created in Spawn.
 func (p *Proc) start(fn func(p *Proc)) {
 	p.started = true
+	//vhlint:allow lockfree -- hand-off core: the process goroutine is created parked; it runs only between a resume send and the next handoff send
 	go func() {
+		//vhlint:allow lockfree -- hand-off core: first dispatch baton
 		<-p.resume // wait for first dispatch
 		defer func() {
 			r := recover()
+			bug := false
 			switch r := r.(type) {
 			case nil:
 			case errKilled:
@@ -38,18 +42,21 @@ func (p *Proc) start(fn func(p *Proc)) {
 			case procFailure:
 				p.err = r.err
 			default:
-				// A real bug in simulation code: re-panic with context so
-				// the test fails loudly rather than deadlocking.
-				p.terminated = true
-				delete(p.engine.procs, p)
-				p.engine.handoff <- struct{}{}
-				panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+				// A real bug in simulation code. Record it and let dispatch
+				// re-panic in engine context after the hand-off completes:
+				// panicking here, on the process goroutine, would resume
+				// the engine and then crash concurrently with it — the
+				// report interleaves with further simulation activity and
+				// surfaces on a goroutine no test can recover from.
+				p.engine.procPanic = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+				bug = true
 			}
 			p.terminated = true
 			delete(p.engine.procs, p)
-			if !p.killed {
+			if !p.killed && !bug {
 				p.done.fire()
 			}
+			//vhlint:allow lockfree -- hand-off core: terminal baton back to the engine; the goroutine exits immediately after
 			p.engine.handoff <- struct{}{}
 		}()
 		fn(p)
@@ -106,7 +113,9 @@ func (p *Proc) yield() {
 	if p.killed {
 		panic(errKilled{p.name})
 	}
+	//vhlint:allow lockfree -- hand-off core: yield parks this process by passing the baton to the engine...
 	p.engine.handoff <- struct{}{}
+	//vhlint:allow lockfree -- hand-off core: ...and blocks until the engine passes it back; no third party ever holds it
 	<-p.resume
 	if p.killed {
 		panic(errKilled{p.name})

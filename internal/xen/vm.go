@@ -58,7 +58,7 @@ type VM struct {
 	state VMState
 
 	cpuWeight  float64
-	extraDirty float64 // page-dirty rate contributed by running activity
+	extraDirty float64     // page-dirty rate contributed by running activity
 	inflight   []*sim.Proc // procs parked inside I/O ops touching this VM
 
 	// cumulative counters, read by the nmon monitor

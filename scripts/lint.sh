@@ -26,3 +26,16 @@ go vet "${PKGS[@]}"
 
 echo "vhlint..." >&2
 go run ./cmd/vhlint "${PKGS[@]}"
+
+# Stale allows are active diagnostics, so the stage above already fails
+# on them — but gate on them explicitly too, off the -json audit stream,
+# so an annotation that suppresses nothing can never outlive the code it
+# excused even if default filtering ever changes.
+echo "vhlint stale-allow audit..." >&2
+audit=$(go run ./cmd/vhlint -json "${PKGS[@]}" || true)
+stale=$(grep 'stale //vhlint:allow' <<<"$audit" || true)
+if [[ -n "$stale" ]]; then
+  echo "stale //vhlint:allow annotations (they suppress nothing — delete them):" >&2
+  echo "$stale" >&2
+  exit 1
+fi
