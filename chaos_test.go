@@ -22,6 +22,7 @@ import (
 
 	"vhadoop/internal/faults"
 	"vhadoop/internal/faults/chaostest"
+	"vhadoop/internal/obs"
 	"vhadoop/internal/sim"
 )
 
@@ -59,6 +60,21 @@ func runChaosSuite(t *testing.T, w chaostest.Workload, seeds []int64) {
 			}
 			if len(r1.Events) < len(sched.Faults) {
 				t.Fatalf("only %d fault events recorded for %d faults", len(r1.Events), len(sched.Faults))
+			}
+			// Every injected fault must also appear as a span in the
+			// exported trace, so a chaos run's timeline shows what hit it.
+			tr, err := obs.DecodeTrace([]byte(r1.TraceJSON))
+			if err != nil {
+				t.Fatalf("span trace does not decode: %v", err)
+			}
+			faultSpans := 0
+			for _, sp := range tr.Spans {
+				if sp.Kind == obs.KindFault {
+					faultSpans++
+				}
+			}
+			if faultSpans < len(sched.Faults) {
+				t.Fatalf("only %d fault spans exported for %d faults", faultSpans, len(sched.Faults))
 			}
 			r2, err := chaostest.Run(w, chaosPlatformSeed, sched)
 			if err != nil {

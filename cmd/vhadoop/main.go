@@ -6,19 +6,24 @@
 //	vhadoop [flags] <experiment>
 //
 // Experiments: table1, fig2, fig3, fig4a, fig4b, fig5, table2, fig6, fig7,
-// fig8, nmon, all. The nmon experiment runs a monitored Wordcount and
-// writes the monitor's CSV capture plus analyser charts (CPU, disk,
-// network) to the -out directory.
+// fig8, nmon, chaos, all. The nmon experiment runs a monitored Wordcount
+// and writes the monitor's CSV capture plus analyser charts (selected with
+// -chart) to the -out directory. The chaos experiment runs a generated
+// fault schedule against a Wordcount and exports the observability plane's
+// metrics snapshot, span trace and timeline.
 //
 // Flags:
 //
-//	-seed N    base random seed (default 1)
-//	-reps N    repetitions averaged per configuration (default 3, the
-//	           paper's protocol)
-//	-nodes N   virtual cluster size for the static/migration studies
-//	           (default 16)
-//	-quick     trimmed sweeps for a fast smoke run
-//	-out DIR   output directory for fig8's SVG panels (default "fig8-out")
+//	-seed N     base random seed (default 1)
+//	-reps N     repetitions averaged per configuration (default 3, the
+//	            paper's protocol)
+//	-nodes N    virtual cluster size for the static/migration studies
+//	            (default 16)
+//	-quick      trimmed sweeps for a fast smoke run
+//	-out DIR    output directory for fig8/nmon/chaos artifacts
+//	            (default "fig8-out")
+//	-chart LIST comma-separated nmon chart metrics by name: cpu, disk, net
+//	            (default "cpu,disk,net")
 package main
 
 import (
@@ -26,23 +31,44 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"vhadoop/internal/core"
 	"vhadoop/internal/experiments"
+	"vhadoop/internal/faults"
+	"vhadoop/internal/faults/chaostest"
 	"vhadoop/internal/nmon"
+	"vhadoop/internal/obs"
 	"vhadoop/internal/sim"
 	"vhadoop/internal/workloads"
 )
 
+// parseCharts turns the -chart flag's comma-separated list into metrics.
+func parseCharts(s string) ([]nmon.Metric, error) {
+	var out []nmon.Metric
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		m, err := nmon.ParseMetric(field)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
 // runNmon reproduces the platform's monitoring flow: a Wordcount under full
 // nmon observation, then the analyser's report, CSV capture and charts.
-func runNmon(cfg experiments.Config, outDir string) error {
+func runNmon(cfg experiments.Config, outDir string, charts []nmon.Metric) error {
 	opts := core.DefaultOptions()
 	opts.Seed = cfg.Seed
 	opts.Nodes = cfg.Nodes
 	pl := core.MustNewPlatform(opts)
-	mon := nmon.New(pl.Engine, 2.0)
+	mon := nmon.New(pl.Engine, nmon.WithInterval(2.0), nmon.WithPlane(pl.Obs))
 	for _, vm := range pl.VMs {
 		mon.Watch(vm)
 	}
@@ -74,21 +100,47 @@ func runNmon(cfg experiments.Config, outDir string) error {
 	if err := mon.WriteCSV(csvFile); err != nil {
 		return err
 	}
-	for _, chart := range []struct {
-		metric nmon.Metric
-		file   string
-	}{
-		{nmon.MetricCPU, "cpu.svg"},
-		{nmon.MetricDiskBps, "disk.svg"},
-		{nmon.MetricNetBps, "net.svg"},
-	} {
-		svg := mon.RenderSVG(chart.metric, nmon.ChartOptions{})
-		if err := os.WriteFile(filepath.Join(outDir, chart.file), []byte(svg), 0o644); err != nil {
+	for _, metric := range charts {
+		svg := mon.RenderSVG(metric, nmon.ChartOptions{})
+		path := filepath.Join(outDir, metric.Name()+".svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("nmon analyser chart written: %s"+"\n", filepath.Join(outDir, chart.file))
+		fmt.Printf("nmon analyser chart written: %s"+"\n", path)
 	}
 	fmt.Printf("nmon capture written: %s"+"\n", filepath.Join(outDir, "nmon.csv"))
+	return nil
+}
+
+// runChaos runs a generated fault schedule against a chaos Wordcount and
+// exports the run's observability artifacts: the final metrics snapshot
+// (Prometheus text), the span trace (JSON) and its SVG timeline.
+func runChaos(cfg experiments.Config, outDir string) error {
+	sched := chaostest.GenSchedule(cfg.Seed, 3, 30)
+	fmt.Printf("chaos schedule (seed %d):\n%s", cfg.Seed, faults.EncodeString(sched))
+	res, err := chaostest.Run(chaostest.Wordcount(), cfg.Seed, sched)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos run survived %d faults, finished at t=%.2fs\n", len(sched.Faults), res.End)
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	tr, err := obs.DecodeTrace([]byte(res.TraceJSON))
+	if err != nil {
+		return err
+	}
+	for _, f := range []struct{ name, body string }{
+		{"metrics.prom", res.Metrics},
+		{"trace.json", res.TraceJSON},
+		{"timeline.svg", tr.SVG()},
+	} {
+		path := filepath.Join(outDir, f.name)
+		if err := os.WriteFile(path, []byte(f.body), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("chaos artifact written: %s\n", path)
+	}
 	return nil
 }
 
@@ -98,10 +150,17 @@ func main() {
 	nodes := flag.Int("nodes", 16, "virtual cluster size")
 	quick := flag.Bool("quick", false, "trimmed sweeps")
 	out := flag.String("out", "fig8-out", "output directory for fig8 SVGs")
+	chart := flag.String("chart", "cpu,disk,net", "comma-separated nmon chart metrics (cpu, disk, net)")
 	flag.Parse()
 
+	charts, err := parseCharts(*chart)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vhadoop: -chart: %v\n", err)
+		os.Exit(2)
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vhadoop [flags] <table1|fig2|fig3|fig4a|fig4b|fig5|table2|fig6|fig7|fig8|nmon|all>")
+		fmt.Fprintln(os.Stderr, "usage: vhadoop [flags] <table1|fig2|fig3|fig4a|fig4b|fig5|table2|fig6|fig7|fig8|nmon|chaos|all>")
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Seed: *seed, Reps: *reps, Nodes: *nodes, Quick: *quick}
@@ -184,7 +243,11 @@ func main() {
 				fmt.Printf("Figure 8 panel written: %s\n", path)
 			}
 		case "nmon":
-			if err := runNmon(cfg, *out); err != nil {
+			if err := runNmon(cfg, *out, charts); err != nil {
+				return err
+			}
+		case "chaos":
+			if err := runChaos(cfg, *out); err != nil {
 				return err
 			}
 		default:
@@ -195,7 +258,7 @@ func main() {
 
 	names := []string{flag.Arg(0)}
 	if flag.Arg(0) == "all" {
-		names = []string{"table1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "nmon"}
+		names = []string{"table1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "nmon", "chaos"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

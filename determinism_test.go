@@ -15,6 +15,7 @@ import (
 	"vhadoop/internal/faults"
 	"vhadoop/internal/faults/chaostest"
 	"vhadoop/internal/mapreduce"
+	"vhadoop/internal/obs"
 	"vhadoop/internal/sim"
 	"vhadoop/internal/workloads"
 )
@@ -146,6 +147,27 @@ func TestFaultedRunTraceDeterministic(t *testing.T) {
 	}
 	if r1.Output != r2.Output || r1.End != r2.End {
 		t.Fatal("output or end time differ across same-seed faulted runs")
+	}
+	// The observability exports inherit the guarantee: the metrics snapshot
+	// (Prometheus text) and the span trace (JSON) must be byte-identical
+	// across same-seed faulted runs, so dashboards and timelines replay too.
+	if r1.Metrics == "" || r1.TraceJSON == "" {
+		t.Fatal("observability exports are empty")
+	}
+	if r1.Metrics != r2.Metrics {
+		t.Fatalf("metrics snapshots differ across same-seed faulted runs: %d vs %d bytes",
+			len(r1.Metrics), len(r2.Metrics))
+	}
+	if r1.TraceJSON != r2.TraceJSON {
+		t.Fatalf("span traces differ across same-seed faulted runs: %d vs %d bytes",
+			len(r1.TraceJSON), len(r2.TraceJSON))
+	}
+	tr, err := obs.DecodeTrace([]byte(r1.TraceJSON))
+	if err != nil {
+		t.Fatalf("exported span trace does not decode: %v", err)
+	}
+	if len(tr.Spans) == 0 {
+		t.Fatal("exported span trace holds no spans")
 	}
 	// And the schedule itself round-trips through its codec, so the trace
 	// is reproducible from the schedule *file*, not just the in-memory value.

@@ -30,7 +30,7 @@ func main() {
 	opts.Layout = core.CrossDomain
 	pl := core.MustNewPlatform(opts)
 
-	mon := nmon.New(pl.Engine, 2.0)
+	mon := nmon.New(pl.Engine, nmon.WithInterval(2.0), nmon.WithPlane(pl.Obs))
 	for _, vm := range pl.VMs {
 		mon.Watch(vm)
 	}
@@ -49,15 +49,13 @@ func main() {
 		}
 		before = wc.Stats
 
-		// The tuner reads the monitor's report and the job history.
+		// The tuner reads a registry snapshot alone: the monitor publishes
+		// its summaries into the observability plane, the MapReduce and
+		// platform layers publish job history and cluster shape, and
+		// EvaluateReader reconstructs its decision inputs from that export
+		// without touching the monitor's internals.
 		report := mon.Analyze()
-		metrics := tuner.Metrics{
-			Report:      report,
-			RecentJobs:  []mapreduce.JobStats{before},
-			CrossDomain: pl.VMs[0].Host() != pl.VMs[len(pl.VMs)-1].Host(),
-			MRConfig:    pl.Opts.MR,
-		}
-		recs = tuner.New().Evaluate(metrics)
+		recs = tuner.New().EvaluateReader(pl.Obs.Snapshot())
 		fmt.Printf("nmon bottleneck: %s (%s) at %.0f%% utilisation\n",
 			report.Bottleneck.Resource, report.Bottleneck.Kind, report.Bottleneck.MeanUtil*100)
 		for _, r := range recs {

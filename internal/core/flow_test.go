@@ -58,8 +58,14 @@ func TestPaperExecutionFlow(t *testing.T) {
 			return err
 		}
 
+		// The leased cluster publishes into the platform's observability
+		// plane (its collect hooks register after the base platform's, so
+		// its gauges reflect the active cluster).
+		lease.MR.SetObs(pl.Obs)
+		lease.DFS.SetObs(pl.Obs)
+
 		// Step 8 (setup): nmon watches master and workers from the start.
-		mon := nmon.New(pl.Engine, 2.0)
+		mon := nmon.New(pl.Engine, nmon.WithInterval(2.0), nmon.WithPlane(pl.Obs))
 		for _, vm := range lease.VMs {
 			mon.Watch(vm)
 		}
@@ -92,14 +98,18 @@ func TestPaperExecutionFlow(t *testing.T) {
 			t.Error("analyser produced no bottleneck")
 		}
 
-		// Step 9: the Tuner adjusts the platform from the monitoring data.
-		metrics := tuner.Metrics{
-			Report:      report,
-			RecentJobs:  result.JobStats,
-			CrossDomain: false,
-			MRConfig:    tp.MR.Config(),
+		// Step 9: the Tuner adjusts the platform from the monitoring data —
+		// read back through the observability plane's snapshot, not from the
+		// monitor object. The decision is reproducible from the export alone.
+		snap := pl.Obs.Snapshot()
+		recs = tuner.New().EvaluateReader(snap)
+		metrics := tuner.MetricsFromReader(snap)
+		if metrics.Report.Bottleneck.Kind == "" {
+			t.Error("reader-path metrics produced no bottleneck")
 		}
-		recs = tuner.New().Evaluate(metrics)
+		if got := tuner.New().Evaluate(metrics); len(got) != len(recs) {
+			t.Errorf("EvaluateReader gave %d recs, Evaluate(MetricsFromReader) gave %d", len(recs), len(got))
+		}
 		tp.MR.Reconfigure(tuner.Apply(tp.MR.Config(), recs))
 		return nil
 	})

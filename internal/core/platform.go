@@ -6,6 +6,7 @@ import (
 	"vhadoop/internal/hdfs"
 	"vhadoop/internal/mapreduce"
 	"vhadoop/internal/nfs"
+	"vhadoop/internal/obs"
 	"vhadoop/internal/phys"
 	"vhadoop/internal/sim"
 	"vhadoop/internal/vnet"
@@ -19,6 +20,7 @@ type Platform struct {
 	Opts Options
 
 	Engine *sim.Engine
+	Obs    *obs.Plane
 	Fabric *vnet.Fabric
 	Topo   *phys.Topology
 	NFS    *nfs.Server
@@ -42,6 +44,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 		return nil, fmt.Errorf("core: need at least 2 nodes (1 master + 1 worker), got %d", opts.Nodes)
 	}
 	e := sim.New(opts.Seed)
+	plane := obs.New(e)
 	fabric := vnet.NewFabric(e)
 	topo := phys.NewTopology(e, fabric, opts.Params.SwitchBW, opts.Params.SwitchLat)
 	pm1 := topo.AddMachine("pm1", opts.Params.machineSpec())
@@ -53,6 +56,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 	pl := &Platform{
 		Opts:   opts,
 		Engine: e,
+		Obs:    plane,
 		Fabric: fabric,
 		Topo:   topo,
 		NFS:    server,
@@ -82,7 +86,31 @@ func NewPlatform(opts Options) (*Platform, error) {
 	for _, vm := range pl.VMs[1:] {
 		pl.MR.AddTracker(vm)
 	}
+	mgr.SetObs(plane)
+	pl.DFS.SetObs(plane)
+	pl.MR.SetObs(plane)
+	plane.Registry().OnCollect(pl.collectPlatform)
 	return pl, nil
+}
+
+// collectPlatform refreshes the platform-level gauges before every
+// registry snapshot: per-link fabric traffic and the cross-domain bit
+// the tuner's migration rule keys off.
+func (pl *Platform) collectPlatform() {
+	reg := pl.Obs.Registry()
+	for _, l := range pl.Fabric.Links() {
+		reg.Gauge("vnet_link_bytes", "link", l.Name()).Set(l.BytesCarried())
+		reg.Gauge("vnet_link_util_mean", "link", l.Name()).Set(l.MeanUtilization())
+	}
+	cross := 0.0
+	for _, vm := range pl.VMs {
+		if vm.Host() != pl.Master.Host() {
+			cross = 1
+			break
+		}
+	}
+	reg.Gauge("cluster_cross_domain").Set(cross)
+	reg.Gauge("cluster_vms").Set(float64(len(pl.VMs)))
 }
 
 // MustNewPlatform is NewPlatform that panics on error (experiment setup).

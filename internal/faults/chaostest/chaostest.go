@@ -92,6 +92,11 @@ type Result struct {
 	Trace  string // the full engine event trace, fault events included
 	Events []nmon.Event
 	End    sim.Time
+	// Metrics is the observability plane's final registry snapshot in
+	// Prometheus text format; TraceJSON is the full span trace. Both are
+	// byte-reproducible across same-seed runs.
+	Metrics   string
+	TraceJSON string
 }
 
 // Canonical serializes job output records for byte comparison.
@@ -116,7 +121,7 @@ func Run(w Workload, platformSeed int64, schedule faults.Schedule) (Result, erro
 		fmt.Fprintf(&trace, format, args...)
 		trace.WriteByte('\n')
 	})
-	mon := nmon.New(pl.Engine, 5)
+	mon := nmon.New(pl.Engine, nmon.WithInterval(5), nmon.WithPlane(pl.Obs))
 	inj := faults.NewInjector(pl)
 	inj.Attach(mon)
 	if err := inj.Install(schedule); err != nil {
@@ -128,7 +133,13 @@ func Run(w Workload, platformSeed int64, schedule faults.Schedule) (Result, erro
 		out, werr = w.Run(p, pl)
 		return werr
 	})
-	res := Result{Trace: trace.String(), Events: mon.Events(), End: end}
+	res := Result{
+		Trace:     trace.String(),
+		Events:    mon.Events(),
+		End:       end,
+		Metrics:   pl.Obs.Snapshot().PrometheusText(),
+		TraceJSON: pl.Obs.Tracer().JSON(),
+	}
 	if err != nil {
 		return res, fmt.Errorf("chaos %s: %w", w.Name, err)
 	}

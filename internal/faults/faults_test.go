@@ -147,7 +147,7 @@ func testPlatform(t *testing.T) *core.Platform {
 func TestInjectorEndToEnd(t *testing.T) {
 	pl := testPlatform(t)
 	inj := NewInjector(pl)
-	mon := nmon.New(pl.Engine, 1)
+	mon := nmon.New(pl.Engine, nmon.WithInterval(1), nmon.WithPlane(pl.Obs))
 	inj.Attach(mon)
 	if err := inj.Install(sampleSchedule()); err != nil {
 		t.Fatalf("Install: %v", err)

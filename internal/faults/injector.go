@@ -6,6 +6,7 @@ import (
 	"vhadoop/internal/core"
 	"vhadoop/internal/mapreduce"
 	"vhadoop/internal/nmon"
+	"vhadoop/internal/obs"
 	"vhadoop/internal/phys"
 	"vhadoop/internal/sim"
 	"vhadoop/internal/vnet"
@@ -137,12 +138,38 @@ func NewInjector(pl *core.Platform) *Injector {
 // Attach routes fault events into mon as annotations.
 func (inj *Injector) Attach(mon *nmon.Monitor) { inj.mon = mon }
 
+// note records one fault action: as a typed event in the span trace
+// (which mirrors the identical line into the engine trace), or straight
+// to Engine.Tracef on a platform without a plane, plus an nmon
+// annotation when a monitor is attached.
 func (inj *Injector) note(format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
-	inj.pl.Engine.Tracef("fault: %s", msg)
+	if inj.pl.Obs != nil {
+		inj.pl.Obs.Eventf(obs.KindFault, "fault: %s", msg)
+	} else {
+		inj.pl.Engine.Tracef("fault: %s", msg)
+	}
 	if inj.mon != nil {
 		inj.mon.Annotate("fault: " + msg)
 	}
+}
+
+// fired counts one injected fault and opens its span (zero-length for
+// instantaneous kinds; the caller finishes longer ones at restore time).
+func (inj *Injector) fired(f Fault) *obs.Span {
+	pl := inj.pl.Obs
+	if pl == nil {
+		return nil
+	}
+	pl.Counter("faults_injected_total", "kind", string(f.Kind)).Inc()
+	sp := pl.Start(obs.KindFault, string(f.Kind)+":"+f.Target, nil)
+	if f.Factor != 0 {
+		sp.SetFloat("factor", f.Factor)
+	}
+	if f.Duration != 0 {
+		sp.SetFloat("duration", float64(f.Duration))
+	}
+	return sp
 }
 
 func (inj *Injector) vm(name string) (*xen.VM, error) {
@@ -206,6 +233,7 @@ func (inj *Injector) resolve(f Fault) (func(), error) {
 		return func() {
 			e.At(f.At, func() {
 				inj.note("vmcrash %s", vm.Name)
+				inj.fired(f).Finish()
 				vm.Crash()
 			})
 		}, nil
@@ -218,6 +246,7 @@ func (inj *Injector) resolve(f Fault) (func(), error) {
 			e.At(f.At, func() {
 				crashed := inj.pl.Xen.CrashMachine(pm)
 				inj.note("machcrash %s (%d VMs lost)", pm.Name, len(crashed))
+				inj.fired(f).Finish()
 			})
 		}, nil
 	case KindHang:
@@ -227,10 +256,13 @@ func (inj *Injector) resolve(f Fault) (func(), error) {
 		}
 		until := f.At + f.Duration
 		return func() {
+			var sp *obs.Span
 			e.At(f.At, func() {
 				inj.note("hang %s until %.2f", f.Target, until)
+				sp = inj.fired(f)
 				tr.Hang(until)
 			})
+			e.At(until, func() { sp.Finish() })
 		}, nil
 	case KindDegrade, KindPartition:
 		sl, ok := inj.byPM[f.Target]
@@ -239,12 +271,15 @@ func (inj *Injector) resolve(f Fault) (func(), error) {
 		}
 		factor := f.Factor // 0 for partition
 		return func() {
+			var sp *obs.Span
 			e.At(f.At, func() {
 				inj.note("%s %s factor %g for %.2fs", f.Kind, sl.name, factor, f.Duration)
+				sp = inj.fired(f)
 				sl.push(factor)
 			})
 			e.At(f.At+f.Duration, func() {
 				inj.note("%s %s restored", f.Kind, sl.name)
+				sp.Finish()
 				sl.pop(factor)
 			})
 		}, nil
@@ -253,12 +288,15 @@ func (inj *Injector) resolve(f Fault) (func(), error) {
 			return nil, fmt.Errorf("faults: nfsstall target %q is not the filer (%s)", f.Target, inj.filer.name)
 		}
 		return func() {
+			var sp *obs.Span
 			e.At(f.At, func() {
 				inj.note("nfsstall %s factor %g for %.2fs", inj.filer.name, f.Factor, f.Duration)
+				sp = inj.fired(f)
 				inj.filer.push(f.Factor)
 			})
 			e.At(f.At+f.Duration, func() {
 				inj.note("nfsstall %s restored", inj.filer.name)
+				sp.Finish()
 				inj.filer.pop(f.Factor)
 			})
 		}, nil

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strconv"
 
+	"vhadoop/internal/obs"
 	"vhadoop/internal/sim"
 	"vhadoop/internal/xen"
 )
@@ -140,6 +141,9 @@ type Cluster struct {
 
 	bytesWritten float64
 	bytesRead    float64
+
+	obs   *obs.Plane // nil outside core.NewPlatform; every use is guarded
+	instr *instruments
 }
 
 // NewCluster creates an empty HDFS instance served by the given namenode VM.
@@ -346,9 +350,12 @@ func (c *Cluster) Write(p *sim.Proc, client *xen.VM, name string, size float64, 
 			Records: groups[i],
 		}
 		client.Message(p, c.namenode, 256) // allocateBlock
-		if err := c.writeBlock(p, client, b, pipeline); err != nil {
+		sp := c.obs.Start(obs.KindHDFSWrite, blockKey(b), nil).SetAttr("file", name)
+		if err := c.writeBlock(p, client, b, pipeline, sp); err != nil {
+			sp.SetAttr("error", err.Error()).Finish()
 			return nil, fmt.Errorf("hdfs: write %s block %d: %w", name, i, err)
 		}
+		sp.SetFloat("bytes", bsize).SetAttr("replicas", strconv.Itoa(len(b.Replicas))).Finish()
 		f.Blocks = append(f.Blocks, b)
 	}
 	c.files[name] = f
@@ -361,7 +368,7 @@ func (c *Cluster) Write(p *sim.Proc, client *xen.VM, name string, size float64, 
 // them. A shortened pipeline leaves the block under-replicated; the
 // replication monitor repairs that later. Only a dead client (or losing
 // every pipeline node) fails the write.
-func (c *Cluster) writeBlock(p *sim.Proc, client *xen.VM, b *Block, pipeline []*Datanode) error {
+func (c *Cluster) writeBlock(p *sim.Proc, client *xen.VM, b *Block, pipeline []*Datanode, sp *obs.Span) error {
 	for {
 		err := c.streamBlock(p, client, b, pipeline)
 		if err == nil {
@@ -371,6 +378,9 @@ func (c *Cluster) writeBlock(p *sim.Proc, client *xen.VM, b *Block, pipeline []*
 				b.Replicas = append(b.Replicas, d)
 			}
 			c.bytesWritten += b.Size * float64(len(pipeline))
+			if c.instr != nil {
+				c.instr.bytesWritten.Add(b.Size * float64(len(pipeline)))
+			}
 			return nil
 		}
 		if s := client.State(); s == xen.StateCrashed || s == xen.StateShutdown {
@@ -388,6 +398,11 @@ func (c *Cluster) writeBlock(p *sim.Proc, client *xen.VM, b *Block, pipeline []*
 		if len(survivors) == 0 || len(survivors) == len(pipeline) {
 			return err
 		}
+		if c.instr != nil {
+			c.instr.pipelineFailovers.Inc()
+		}
+		c.spanEventf(sp, "hdfs: pipeline for block %d of %s shrunk %d->%d, resending",
+			b.ID, b.File, len(pipeline), len(survivors))
 		pipeline = survivors
 	}
 }
@@ -476,6 +491,9 @@ func (c *Cluster) ReadRange(p *sim.Proc, client *xen.VM, b *Block, bytes float64
 		rerr := c.readFrom(p, client, d, b, bytes)
 		if rerr == nil {
 			c.bytesRead += bytes
+			if c.instr != nil {
+				c.instr.bytesRead.Add(bytes)
+			}
 			return nil
 		}
 		// Fail over only when the serving replica actually died (it can
@@ -484,6 +502,11 @@ func (c *Cluster) ReadRange(p *sim.Proc, client *xen.VM, b *Block, bytes float64
 		if d.Alive() {
 			return rerr
 		}
+		if c.instr != nil {
+			c.instr.readFailovers.Inc()
+		}
+		c.eventf(obs.KindRepair, "hdfs: read failover for block %d of %s: replica on %s died",
+			b.ID, b.File, d.VM.Name)
 	}
 }
 
@@ -563,7 +586,7 @@ func (c *Cluster) StartReplicationMonitor(interval sim.Time) {
 		for {
 			p.Sleep(interval)
 			if n := c.ReReplicate(p); n > 0 {
-				e.Tracef("replication monitor created %d replicas", n)
+				c.eventf(obs.KindRepair, "replication monitor created %d replicas", n)
 			}
 		}
 	})
@@ -659,6 +682,8 @@ func (c *Cluster) ReReplicate(p *sim.Proc) int {
 			// mid-stream fails only this transfer, not the caller (which may
 			// be the long-lived replication monitor daemon).
 			src, target := src, target
+			sp := c.obs.Start(obs.KindRepair, blockKey(b), nil).
+				SetAttr("src", src.VM.Name).SetAttr("dst", target.VM.Name)
 			xfer := p.Engine().Spawn("hdfs-rerepl", func(q *sim.Proc) {
 				src.VM.SendTo(q, target.VM, b.Size)
 				if c.cfg.UseHostCache {
@@ -672,14 +697,23 @@ func (c *Cluster) ReReplicate(p *sim.Proc) int {
 				// cause must reach the trace: a silently dropped transfer
 				// failure here is indistinguishable from the monitor never
 				// trying, which makes chaos-run divergence undiagnosable.
-				p.Engine().Tracef("hdfs: re-replication of block %d of %s failed: %v", b.ID, b.File, err)
+				if c.instr != nil {
+					c.instr.repairFailures.Inc()
+				}
+				c.spanEventf(sp, "hdfs: re-replication of block %d of %s failed: %v", b.ID, b.File, err)
+				sp.SetAttr("error", err.Error()).Finish()
 				break
 			}
+			sp.SetFloat("bytes", b.Size).Finish()
 			target.blocks[b.ID] = b
 			target.used += b.Size
 			b.Replicas = append(b.Replicas, target)
 			held[target] = true
 			c.bytesWritten += b.Size
+			if c.instr != nil {
+				c.instr.replRepairs.Inc()
+				c.instr.bytesWritten.Add(b.Size)
+			}
 			created++
 		}
 	}

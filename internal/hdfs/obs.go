@@ -1,0 +1,65 @@
+package hdfs
+
+import (
+	"vhadoop/internal/obs"
+)
+
+// instruments caches the cluster's metric handles (see mapreduce's
+// twin); nil when no plane is attached.
+type instruments struct {
+	bytesWritten      *obs.Counter
+	bytesRead         *obs.Counter
+	pipelineFailovers *obs.Counter
+	readFailovers     *obs.Counter
+	replRepairs       *obs.Counter
+	repairFailures    *obs.Counter
+}
+
+// SetObs attaches the observability plane: block writes and repair
+// transfers get spans, failovers become typed events, and the registry
+// gains the hdfs_* metric family. Without a plane the cluster keeps its
+// legacy Engine.Tracef lines.
+func (c *Cluster) SetObs(pl *obs.Plane) {
+	c.obs = pl
+	if pl == nil {
+		c.instr = nil
+		return
+	}
+	c.instr = &instruments{
+		bytesWritten:      pl.Counter("hdfs_bytes_written_total"),
+		bytesRead:         pl.Counter("hdfs_bytes_read_total"),
+		pipelineFailovers: pl.Counter("hdfs_pipeline_failovers_total"),
+		readFailovers:     pl.Counter("hdfs_read_failovers_total"),
+		replRepairs:       pl.Counter("hdfs_repl_repairs_total"),
+		repairFailures:    pl.Counter("hdfs_repair_failures_total"),
+	}
+	pl.Registry().OnCollect(c.collect)
+}
+
+// collect refreshes the namespace and replication-health gauges.
+func (c *Cluster) collect() {
+	reg := c.obs.Registry()
+	reg.Gauge("hdfs_files").Set(float64(len(c.files)))
+	reg.Gauge("hdfs_datanodes_live").Set(float64(len(c.alive())))
+	reg.Gauge("hdfs_under_replicated_blocks").Set(float64(len(c.UnderReplicated())))
+}
+
+// eventf records a typed top-level trace event through the plane, or
+// falls back to the raw engine trace for clusters built without one.
+func (c *Cluster) eventf(kind obs.SpanKind, format string, args ...any) {
+	if c.obs != nil {
+		c.obs.Eventf(kind, format, args...)
+		return
+	}
+	c.namenode.Engine().Tracef(format, args...)
+}
+
+// spanEventf records an event attributed to sp, falling back to the
+// engine trace when the cluster has no plane (sp is then nil).
+func (c *Cluster) spanEventf(sp *obs.Span, format string, args ...any) {
+	if sp != nil {
+		sp.Eventf(format, args...)
+		return
+	}
+	c.namenode.Engine().Tracef(format, args...)
+}

@@ -514,6 +514,9 @@ func (d *detFunc) checkSink(call *ast.CallExpr) {
 				d.pass.Reportf(a.Pos(), "value influenced by %s reaches %s; this breaks bit-identical replay — make the source deterministic or annotate the enclosing function //vhlint:detsafe -- <reason>", (t & kindMask).describe(), sink)
 			}
 		}
+		// The call IS the sink; a callee summary would only restate the
+		// same flow (obs wrappers forward their arguments to each other).
+		return
 	}
 	// Module-local callees that sink some argument internally.
 	fn := staticCallee(d.pkg.Info, call)
@@ -553,6 +556,17 @@ func (d *detFunc) sinkOf(call *ast.CallExpr) ([]ast.Expr, string) {
 			return call.Args, "the engine trace (Engine.Tracef)"
 		case path == "vhadoop/internal/nmon" && name == "Annotate" && isMethod:
 			return call.Args, "the nmon event stream (Monitor.Annotate)"
+		case path == "vhadoop/internal/obs" && isMethod:
+			// The observability plane's exports are part of the replay
+			// surface: spans, span attributes and events land in the JSON
+			// trace; counter/gauge/histogram updates land in the metrics
+			// snapshot. Both must be byte-identical across same-seed runs.
+			switch name {
+			case "Eventf", "Annotate", "Start", "SetAttr", "SetFloat":
+				return call.Args, "the span trace (obs." + name + ")"
+			case "Counter", "Gauge", "Histogram", "Add", "Set", "Inc", "Observe":
+				return call.Args, "the metrics registry (obs." + name + ")"
+			}
 		}
 		if d.pkg.Types.Name() == "main" {
 			switch {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"vhadoop/internal/mapreduce"
+	"vhadoop/internal/obs"
 	"vhadoop/internal/sim"
 )
 
@@ -152,4 +153,55 @@ func printTimestampAllowed(e *sim.Engine) {
 func staleAllowed(e *sim.Engine) {
 	//vhlint:allow detflow -- test fixture: constant trace needs no allow // want "stale //vhlint:allow detflow"
 	e.Tracef("constant line")
+}
+
+// The observability plane's exports (span trace, metrics snapshot) are
+// replay-compared byte for byte, so they are sinks exactly like the
+// engine trace.
+
+// obsEventClock feeds the host clock into a typed span event.
+func obsEventClock(pl *obs.Plane) {
+	pl.Eventf(obs.KindCluster, "started at %v", time.Now()) // want "the host clock"
+}
+
+// obsSpanNameFromMap opens a span named by a map-ordered pick.
+func obsSpanNameFromMap(tr *obs.Tracer, m map[string]int) {
+	var name string
+	for k := range m {
+		name = k
+	}
+	tr.Start(obs.KindTask, name, nil) // want "map iteration order"
+}
+
+// obsAttrFromRand lets the global math/rand stream reach a span attribute.
+func obsAttrFromRand(sp *obs.Span) {
+	sp.SetFloat("draw", rand.Float64()) // want "math/rand stream"
+}
+
+// obsCounterLabelFromMap mints counter label values in map-visit order:
+// the labels land in the metrics snapshot's canonical key set.
+func obsCounterLabelFromMap(reg *obs.Registry, m map[string]int) {
+	for k := range m {
+		reg.Counter("hits_total", "key", k).Inc() // want "map iteration order"
+	}
+}
+
+// obsObserveWallElapsed feeds a wall-clock duration into a histogram.
+func obsObserveWallElapsed(h *obs.Histogram) {
+	start := time.Now()
+	h.Observe(float64(time.Since(start))) // want "the host clock"
+}
+
+// obsGaugeClean is the blessed path: deterministic values may flow into
+// the registry freely.
+func obsGaugeClean(reg *obs.Registry, vms int) {
+	reg.Gauge("cluster_vms").Set(float64(vms))
+}
+
+// obsSpanClean exercises the span surface with deterministic inputs.
+func obsSpanClean(pl *obs.Plane, name string, seconds float64) {
+	sp := pl.Start(obs.KindTask, name, nil)
+	sp.SetAttr("outcome", "done")
+	sp.SetFloat("seconds", seconds)
+	sp.Finish()
 }

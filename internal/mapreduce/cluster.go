@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"vhadoop/internal/hdfs"
+	"vhadoop/internal/obs"
 	"vhadoop/internal/sim"
 	"vhadoop/internal/xen"
 )
@@ -114,6 +115,9 @@ type Cluster struct {
 	pending []*task // cross-job FIFO of schedulable tasks
 	jobs    []*job
 	stopped bool
+
+	obs   *obs.Plane // nil outside core.NewPlatform; every use is guarded
+	instr *instruments
 
 	lastReduceAssign sim.Time // reduce ramp-up throttle (see assign)
 	reduceAssigned   bool
@@ -241,7 +245,10 @@ func (c *Cluster) declareDead(tr *Tracker) {
 		return
 	}
 	tr.dead = true
-	c.engine.Tracef("jobtracker: tasktracker %s declared dead", tr.VM.Name)
+	if c.instr != nil {
+		c.instr.trackerDeaths.Inc()
+	}
+	c.eventf(obs.KindCluster, "jobtracker: tasktracker %s declared dead", tr.VM.Name)
 	// Requeue the tracker's running tasks in deterministic (job, kind,
 	// index) order — tr.running is a map, and requeue order decides the
 	// scheduler's pending queue after a failure.
@@ -384,8 +391,12 @@ func (c *Cluster) launch(tr *Tracker, t *task) {
 	t.attempts++
 	t.job.stats.Attempts++
 	t.startedAt = c.engine.Now()
-	attempt := c.engine.Spawn(t.job.cfg.Name+":"+t.kind.String()+strconv.Itoa(t.index)+"."+strconv.Itoa(t.attempts),
-		func(p *sim.Proc) { c.runTask(p, tr, t) })
+	name := t.job.cfg.Name + ":" + t.kind.String() + strconv.Itoa(t.index) + "." + strconv.Itoa(t.attempts)
+	var sp *obs.Span
+	if c.obs != nil {
+		sp = c.obs.Start(obs.KindTask, name, t.job.taskSpanParent(t)).SetAttr("vm", tr.VM.Name)
+	}
+	attempt := c.engine.Spawn(name, func(p *sim.Proc) { c.runTask(p, tr, t) })
 	t.attemptProcs = append(t.attemptProcs, attempt)
 	c.engine.Spawn("watch:"+attempt.Name(), func(p *sim.Proc) {
 		attempt.Done().Wait(p)
@@ -395,13 +406,14 @@ func (c *Cluster) launch(tr *Tracker, t *task) {
 				break
 			}
 		}
-		c.onTaskExit(tr, t, attempt.Err())
+		c.onTaskExit(tr, t, attempt.Err(), sp)
 	})
 }
 
 // onTaskExit releases the slot and either records completion or re-queues a
-// failed attempt.
-func (c *Cluster) onTaskExit(tr *Tracker, t *task, err error) {
+// failed attempt. sp is the attempt's span (nil without a plane); every
+// path closes it with an outcome attribute.
+func (c *Cluster) onTaskExit(tr *Tracker, t *task, err error, sp *obs.Span) {
 	if t.kind == MapTask {
 		tr.mapFree++
 	} else {
@@ -409,17 +421,25 @@ func (c *Cluster) onTaskExit(tr *Tracker, t *task, err error) {
 	}
 	delete(tr.running, t)
 	if c.stopped || t.job.finished() {
+		sp.SetAttr("outcome", "abandoned").Finish()
 		return
 	}
 	if t.state == TaskDone && t.tracker != tr {
 		// A speculative duplicate finished after the primary; discard.
+		sp.SetAttr("outcome", "superseded").Finish()
 		return
 	}
 	if err != nil {
 		if tr.dead || t.state == TaskDone {
-			return // declareDead requeued it, or a killed duplicate unwound
+			// declareDead requeued it, or a killed duplicate unwound.
+			sp.SetAttr("outcome", "unwound").Finish()
+			return
 		}
-		c.engine.Tracef("task %s%d of %s failed on %s: %v", t.kind, t.index, t.job.cfg.Name, tr.VM.Name, err)
+		if c.instr != nil {
+			c.instr.taskFailures.Inc()
+		}
+		c.spanEventf(sp, "task %s%d of %s failed on %s: %v", t.kind, t.index, t.job.cfg.Name, tr.VM.Name, err)
+		sp.SetAttr("outcome", "failed").Finish()
 		c.requeue(t)
 		return
 	}
@@ -428,14 +448,28 @@ func (c *Cluster) onTaskExit(tr *Tracker, t *task, err error) {
 		// its task finished) reporting success: its map output lives on a
 		// node the jobtracker has written off and reducers will never fetch
 		// from. Discard; declareDead already requeued the task elsewhere.
+		if c.instr != nil {
+			c.instr.zombieDiscards.Inc()
+		}
+		c.spanEventf(sp, "discarding zombie completion of %s%d of %s on %s", t.kind, t.index, t.job.cfg.Name, tr.VM.Name)
+		sp.SetAttr("outcome", "zombie-discarded").Finish()
 		return
 	}
 	if t.state == TaskDone {
+		sp.SetAttr("outcome", "duplicate").Finish()
 		return // duplicate completion
 	}
 	t.state = TaskDone
 	t.tracker = tr
 	t.doneIn = c.engine.Now() - t.startedAt
+	if i := c.instr; i != nil {
+		if t.kind == MapTask {
+			i.mapSeconds.Observe(float64(t.doneIn))
+		} else {
+			i.reduceSeconds.Observe(float64(t.doneIn))
+		}
+	}
+	sp.SetAttr("outcome", "done").SetFloat("seconds", float64(t.doneIn)).Finish()
 	// Kill redundant speculative attempts; their slots free as they unwind.
 	for _, proc := range t.attemptProcs {
 		proc.Abort(errAttemptKilled)
@@ -450,6 +484,9 @@ func (c *Cluster) speculate(t *task) {
 		return
 	}
 	t.speculated = true
-	c.engine.Tracef("speculating %s%d of %s", t.kind, t.index, t.job.cfg.Name)
+	if c.instr != nil {
+		c.instr.speculations.Inc()
+	}
+	c.eventf(obs.KindTask, "speculating %s%d of %s", t.kind, t.index, t.job.cfg.Name)
 	c.pending = append(c.pending, t)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vhadoop/internal/hdfs"
+	"vhadoop/internal/obs"
 	"vhadoop/internal/sim"
 )
 
@@ -68,6 +69,8 @@ type task struct {
 	spilled  float64
 	out      []KV
 	outBytes float64
+
+	shuffleCounted bool // this reduce already closed its share of the shuffle phase
 }
 
 // job is a submitted MapReduce job.
@@ -87,6 +90,13 @@ type job struct {
 
 	stats   JobStats
 	outputs [][]KV // per-reduce (or per-map for map-only) real output records
+
+	// observability spans (nil without a plane); see obs.go
+	span         *obs.Span
+	phaseMap     *obs.Span
+	phaseShuffle *obs.Span
+	phaseReduce  *obs.Span
+	shufflesDone int
 }
 
 func (j *job) finished() bool { return j.isDone }
@@ -98,6 +108,10 @@ func (j *job) fail(err error) {
 	}
 	j.err = err
 	j.isDone = true
+	if i := j.cluster.instr; i != nil {
+		i.jobsFailed.Inc()
+	}
+	j.finishSpans()
 	j.done.Fire()
 	j.rotateMapSignal() // unblock any reducers so their procs can exit
 }
@@ -112,11 +126,23 @@ func (j *job) rotateMapSignal() {
 // last task finishes.
 func (j *job) taskCompleted(t *task) {
 	j.stats.SpillBytes += t.spilled
+	if i := j.cluster.instr; i != nil {
+		i.spillBytes.Add(t.spilled)
+		if t.kind == ReduceTask {
+			i.shuffleBytes.Add(t.shuffled)
+		}
+		if t.outBytes > 0 && (t.kind == ReduceTask || len(j.reduces) == 0) {
+			i.outputBytes.Add(t.outBytes)
+		}
+	}
 	if t.kind == MapTask {
 		if t.wasLocal {
 			j.stats.LocalMaps++
 		}
 		j.mapsDone++
+		if j.mapsDone == len(j.maps) && len(j.reduces) > 0 {
+			j.phaseMap.Finish()
+		}
 		j.rotateMapSignal()
 		if len(j.reduces) == 0 {
 			j.outputs[t.index] = t.out
@@ -145,6 +171,12 @@ func (j *job) complete() {
 	j.isDone = true
 	j.stats.Finished = j.cluster.engine.Now()
 	j.stats.Runtime = j.stats.Finished - j.stats.Submitted
+	if i := j.cluster.instr; i != nil {
+		i.jobsCompleted.Inc()
+		j.cluster.obs.Gauge("mr_job_extra_attempts", "job", j.cfg.Name).
+			Set(float64(j.stats.Attempts - j.stats.MapTasks - j.stats.ReduceTasks))
+	}
+	j.finishSpans()
 	j.done.Fire()
 }
 
@@ -253,6 +285,7 @@ func (c *Cluster) Submit(p *sim.Proc, cfg JobConfig) (*Handle, error) {
 	p.Sleep(c.cfg.JobSetupTime)
 
 	c.jobs = append(c.jobs, j)
+	j.startSpans()
 	for _, t := range j.maps {
 		c.pending = append(c.pending, t)
 	}

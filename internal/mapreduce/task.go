@@ -205,6 +205,7 @@ func (c *Cluster) runReduce(p *sim.Proc, tr *Tracker, t *task) {
 		}
 	}
 	t.shuffled = totalBytes
+	job.noteShuffleDone(t)
 
 	// Merge phase: on-disk merge passes if the fetched data outgrew the
 	// buffer, then the in-memory merge itself. Each fetched run arrived

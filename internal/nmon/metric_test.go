@@ -1,0 +1,75 @@
+package nmon
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+func TestParseMetricRoundTrip(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Metric
+		wantErr bool
+	}{
+		{in: "cpu", want: MetricCPU},
+		{in: "CPU", want: MetricCPU},
+		{in: "disk", want: MetricDiskBps},
+		{in: "Disk", want: MetricDiskBps},
+		{in: "net", want: MetricNetBps},
+		{in: "NET", want: MetricNetBps},
+		{in: "CPU utilisation", want: MetricCPU},
+		{in: "disk throughput (B/s)", want: MetricDiskBps},
+		{in: "network throughput (B/s)", want: MetricNetBps},
+		{in: "memory", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseMetric(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseMetric(%q) = %v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMetric(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseMetric(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+
+	// Every metric round-trips through both its short and long name.
+	for _, m := range []Metric{MetricCPU, MetricDiskBps, MetricNetBps} {
+		for _, form := range []string{m.Name(), m.String()} {
+			got, err := ParseMetric(form)
+			if err != nil || got != m {
+				t.Errorf("round trip %v via %q = %v, %v", m, form, got, err)
+			}
+		}
+	}
+}
+
+func TestMetricFlagValue(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	m := MetricCPU
+	fs.Var(&m, "chart", "metric to chart")
+
+	if err := fs.Parse([]string{"-chart", "net"}); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if m != MetricNetBps {
+		t.Fatalf("after -chart net, m = %v, want %v", m, MetricNetBps)
+	}
+
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	m2 := MetricCPU
+	fs2.Var(&m2, "chart", "metric to chart")
+	if err := fs2.Parse([]string{"-chart", "bogus"}); err == nil {
+		t.Fatal("parse of bogus metric succeeded, want error")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 
+	"vhadoop/internal/obs"
 	"vhadoop/internal/phys"
 	"vhadoop/internal/sim"
 	"vhadoop/internal/vnet"
@@ -59,6 +60,7 @@ type LinkSample struct {
 type Monitor struct {
 	engine   *sim.Engine
 	interval sim.Time
+	plane    *obs.Plane
 
 	vms     []*xen.VM
 	last    map[*xen.VM]vmCounters
@@ -70,20 +72,68 @@ type Monitor struct {
 	events  []Event
 	stopped bool
 	started bool
+
+	samples     *obs.Counter
+	annotations *obs.Counter
 }
 
-// New creates a monitor sampling every interval seconds.
-func New(e *sim.Engine, interval sim.Time) *Monitor {
-	if interval <= 0 {
-		panic("nmon: interval must be positive")
-	}
-	return &Monitor{
+// Option configures a Monitor at construction.
+type Option func(*Monitor)
+
+// WithInterval sets the sampling period (default 5 virtual seconds).
+func WithInterval(interval sim.Time) Option {
+	return func(m *Monitor) { m.interval = interval }
+}
+
+// WithPlane publishes the monitor's summaries into the plane's metrics
+// registry: before every snapshot the nmon_* mean-utilisation gauges are
+// refreshed, which is what lets the Tuner consume monitoring data
+// through an obs.Reader instead of reaching into Monitor internals.
+func WithPlane(pl *obs.Plane) Option {
+	return func(m *Monitor) { m.plane = pl }
+}
+
+// New creates a monitor on the engine; configure it with options
+// (sampling every 5 virtual seconds by default).
+func New(e *sim.Engine, opts ...Option) *Monitor {
+	m := &Monitor{
 		engine:   e,
-		interval: interval,
+		interval: 5,
 		last:     make(map[*xen.VM]vmCounters),
 		series:   make(map[*xen.VM]*Series),
 		linkS:    make(map[*vnet.Link][]LinkSample),
 		diskS:    make(map[*sim.FairShare][]LinkSample),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.interval <= 0 {
+		panic("nmon: interval must be positive")
+	}
+	if m.plane != nil {
+		m.samples = m.plane.Counter("nmon_samples_total")
+		m.annotations = m.plane.Counter("nmon_annotations_total")
+		m.plane.Registry().OnCollect(m.publish)
+	}
+	return m
+}
+
+// publish refreshes the nmon_* gauges from the collected series — the
+// monitor's registry face, run before every registry snapshot.
+func (m *Monitor) publish() {
+	reg := m.plane.Registry()
+	for _, vm := range m.vms {
+		s := m.series[vm].Summarize()
+		reg.Gauge("nmon_vm_cpu_mean", "vm", s.VM).Set(s.MeanCPU)
+		reg.Gauge("nmon_vm_cpu_peak", "vm", s.VM).Set(s.PeakCPU)
+		reg.Gauge("nmon_vm_disk_bps_mean", "vm", s.VM).Set(s.MeanDiskBps)
+		reg.Gauge("nmon_vm_net_bps_mean", "vm", s.VM).Set(s.MeanNetBps)
+	}
+	for _, l := range m.links {
+		reg.Gauge("nmon_link_util_mean", "link", l.Name()).Set(meanUtil(m.linkS[l]))
+	}
+	for _, d := range m.disks {
+		reg.Gauge("nmon_disk_util_mean", "disk", d.Name()).Set(meanUtil(m.diskS[d]))
 	}
 }
 
@@ -150,6 +200,7 @@ func (m *Monitor) sample(now sim.Time) {
 	for _, d := range m.disks {
 		m.diskS[d] = append(m.diskS[d], LinkSample{T: now, Util: clamp01(d.Utilization())})
 	}
+	m.samples.Inc()
 }
 
 func clamp01(x float64) float64 {
@@ -176,6 +227,7 @@ type Event struct {
 // Annotate records a labelled event at the current virtual time.
 func (m *Monitor) Annotate(label string) {
 	m.events = append(m.events, Event{T: m.engine.Now(), Label: label})
+	m.annotations.Inc()
 }
 
 // Events returns all annotations in recording order.
@@ -245,23 +297,45 @@ func (m *Monitor) Analyze() Report {
 	if len(rep.VMs) > 0 {
 		cpuMean /= float64(len(rep.VMs))
 	}
-	best := Bottleneck{Resource: "vm-cpu", Kind: "cpu", MeanUtil: cpuMean}
 	for _, l := range m.links {
-		u := meanUtil(m.linkS[l])
-		rep.Links[l.Name()] = u
-		if u > best.MeanUtil {
-			best = Bottleneck{Resource: l.Name(), Kind: "network", MeanUtil: u}
-		}
+		rep.Links[l.Name()] = meanUtil(m.linkS[l])
 	}
 	for _, d := range m.disks {
-		u := meanUtil(m.diskS[d])
-		rep.Disks[d.Name()] = u
-		if u > best.MeanUtil {
-			best = Bottleneck{Resource: d.Name(), Kind: "disk", MeanUtil: u}
+		rep.Disks[d.Name()] = meanUtil(m.diskS[d])
+	}
+	rep.Bottleneck = BottleneckOf(cpuMean, rep.Links, rep.Disks)
+	return rep
+}
+
+// BottleneckOf names the busiest shared resource given the mean VM CPU
+// utilisation and per-link/per-disk mean utilisations. Resources are
+// compared in sorted-name order with a strict greater-than, so the
+// result is deterministic regardless of how the maps were built — the
+// same rule whether the inputs come from a live Monitor (Analyze) or
+// from a registry snapshot (tuner.MetricsFromReader).
+func BottleneckOf(cpuMean float64, links, disks map[string]float64) Bottleneck {
+	best := Bottleneck{Resource: "vm-cpu", Kind: "cpu", MeanUtil: cpuMean}
+	for _, name := range sortedKeys(links) {
+		if u := links[name]; u > best.MeanUtil {
+			best = Bottleneck{Resource: name, Kind: "network", MeanUtil: u}
 		}
 	}
-	rep.Bottleneck = best
-	return rep
+	for _, name := range sortedKeys(disks) {
+		if u := disks[name]; u > best.MeanUtil {
+			best = Bottleneck{Resource: name, Kind: "disk", MeanUtil: u}
+		}
+	}
+	return best
+}
+
+// sortedKeys is the blessed map-iteration idiom: collect, sort, range.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func meanUtil(samples []LinkSample) float64 {

@@ -17,7 +17,7 @@ func monitoredRun(t *testing.T) (*core.Platform, *nmon.Monitor) {
 	opts := core.DefaultOptions()
 	opts.Nodes = 8
 	pl := core.MustNewPlatform(opts)
-	mon := nmon.New(pl.Engine, 2.0)
+	mon := nmon.New(pl.Engine, nmon.WithInterval(2.0), nmon.WithPlane(pl.Obs))
 	for _, vm := range pl.VMs {
 		mon.Watch(vm)
 	}

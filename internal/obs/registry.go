@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vhadoop/internal/sim"
+)
+
+// Label is one metric dimension.
+type Label struct {
+	Key, Value string
+}
+
+// MetricType distinguishes the three instrument families.
+type MetricType string
+
+// The registry's instrument families.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// metric is the shared identity of one registered instrument.
+type metric struct {
+	name   string
+	labels []Label // sorted by key
+	key    string  // canonical "name{k=v,...}" lookup/sort key
+	typ    MetricType
+
+	// instrument state (one of, per typ)
+	value   float64 // counter and gauge
+	buckets []float64
+	counts  []uint64 // len(buckets)+1, last is +Inf
+	sum     float64
+	count   uint64
+}
+
+// Counter is a monotonically increasing total.
+type Counter struct{ m *metric }
+
+// Gauge is a value that can move both ways.
+type Gauge struct{ m *metric }
+
+// Histogram counts observations into fixed buckets (cumulative-le
+// semantics at export time, like Prometheus: a value lands in the first
+// bucket whose upper bound is >= the value).
+type Histogram struct{ m *metric }
+
+// Registry holds every instrument of one platform and exports
+// deterministic snapshots. It is simulator-driven, single-threaded
+// code: instruments are cheap to look up (one map probe) and callers
+// are expected to cache the returned handles on hot paths.
+type Registry struct {
+	now        func() sim.Time
+	byKey      map[string]*metric
+	order      []*metric // registration order; snapshots re-sort by key
+	collectors []func()  // refresh hooks run before each snapshot
+}
+
+// NewRegistry creates a registry whose snapshots are stamped by now
+// (typically Engine.Now). A nil now stamps snapshots with zero.
+func NewRegistry(now func() sim.Time) *Registry {
+	if now == nil {
+		now = func() sim.Time { return 0 }
+	}
+	return &Registry{now: now, byKey: make(map[string]*metric)}
+}
+
+// canonical builds the sorted label set and lookup key for a name and
+// alternating key/value pairs. Label pairs arrive as variadic strings
+// ("vm", "vm03", "kind", "map") so call sites stay allocation-light.
+func canonical(name string, kv []string) (string, []Label) {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %s: odd label list %q", name, kv))
+	}
+	if len(kv) == 0 {
+		return name, nil
+	}
+	labels := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		labels = append(labels, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String(), labels
+}
+
+// lookup returns the instrument for (name, labels), creating it with
+// typ on first use and panicking on a type clash — one name maps to one
+// instrument family, as in Prometheus.
+func (r *Registry) lookup(typ MetricType, name string, kv []string) *metric {
+	key, labels := canonical(name, kv)
+	if m, ok := r.byKey[key]; ok {
+		if m.typ != typ {
+			panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", key, m.typ, typ))
+		}
+		return m
+	}
+	m := &metric{name: name, labels: labels, key: key, typ: typ}
+	r.byKey[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns (registering on first use) the counter for
+// (name, labels). Labels are alternating key/value strings.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{m: r.lookup(TypeCounter, name, labels)}
+}
+
+// Gauge returns (registering on first use) the gauge for (name, labels).
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{m: r.lookup(TypeGauge, name, labels)}
+}
+
+// Histogram returns (registering on first use) the histogram for
+// (name, labels) with the given ascending bucket upper bounds. A second
+// registration must pass identical buckets.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		panic("obs: histogram " + name + " needs at least one bucket bound")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s: bucket bounds not ascending: %v", name, buckets))
+		}
+	}
+	m := r.lookup(TypeHistogram, name, labels)
+	if m.counts == nil {
+		m.buckets = append([]float64(nil), buckets...)
+		m.counts = make([]uint64, len(buckets)+1)
+	} else if len(m.buckets) != len(buckets) {
+		panic("obs: histogram " + name + " re-registered with different buckets")
+	} else {
+		for i := range buckets {
+			if m.buckets[i] != buckets[i] {
+				panic("obs: histogram " + name + " re-registered with different buckets")
+			}
+		}
+	}
+	return &Histogram{m: m}
+}
+
+// OnCollect registers a refresh hook run (in registration order) before
+// every snapshot — the idiom for gauges derived from live state, like
+// per-link byte totals or the namenode's under-replicated block count.
+func (r *Registry) OnCollect(fn func()) {
+	if r == nil {
+		return
+	}
+	r.collectors = append(r.collectors, fn)
+}
+
+// Add increases the counter. Negative deltas panic: a counter that can
+// shrink is a gauge, and a shrinking "total" would poison rate rules.
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	if v < 0 {
+		panic("obs: counter " + c.m.key + ": negative add")
+	}
+	c.m.value += v
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total (0 for a nil counter).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.m.value
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.m.value = v
+}
+
+// Add moves the gauge by v (either direction).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.m.value += v
+}
+
+// Value returns the current gauge value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.m.value
+}
+
+// Observe records one value: it lands in the first bucket whose upper
+// bound is >= v, or the implicit +Inf bucket beyond the last bound.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	m := h.m
+	idx := sort.SearchFloat64s(m.buckets, v) // first bound >= v
+	m.counts[idx]++
+	m.sum += v
+	m.count++
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.m.count
+}

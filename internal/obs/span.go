@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"vhadoop/internal/sim"
+)
+
+// SpanKind classifies spans and events so exports and lint rules can
+// treat them by type rather than by parsing message text.
+type SpanKind string
+
+// The span/event kinds the platform emits.
+const (
+	KindJob       SpanKind = "job"         // one MapReduce job
+	KindPhase     SpanKind = "phase"       // map / shuffle / reduce within a job
+	KindTask      SpanKind = "task"        // one task attempt
+	KindHDFSWrite SpanKind = "hdfs-write"  // one pipelined block write
+	KindRepair    SpanKind = "hdfs-repair" // HDFS recovery: re-replication, read failover
+	KindMigration SpanKind = "migration"   // one VM live migration
+	KindFault     SpanKind = "fault"       // one injected fault
+	KindCluster   SpanKind = "cluster"     // cluster-level lifecycle events
+)
+
+// Attr is one span attribute. Attributes keep append order, which is
+// deterministic because spans are only touched from sim context.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed interval in the trace. IDs are sequential in
+// creation order, so a fixed seed reproduces identical span tables.
+type Span struct {
+	ID     int      `json:"id"`
+	Parent int      `json:"parent"` // 0 = root (IDs start at 1)
+	Kind   SpanKind `json:"kind"`
+	Name   string   `json:"name"`
+	Start  sim.Time `json:"start"`
+	End    sim.Time `json:"end"` // == Start while open; set by End()
+	Attrs  []Attr   `json:"attrs,omitempty"`
+
+	tracer *Tracer
+	open   bool
+}
+
+// Event is one instantaneous annotation, attributed to a span (or 0 for
+// a top-level event).
+type Event struct {
+	T    sim.Time `json:"t"`
+	Kind SpanKind `json:"kind"`
+	Span int      `json:"span"`
+	Msg  string   `json:"msg"`
+}
+
+// Tracer records spans and events for one platform. Span starts and
+// ends are silent; events additionally write through Engine.Tracef, so
+// the legacy line trace remains a faithful subset of the span trace.
+type Tracer struct {
+	engine *sim.Engine
+	nextID int
+	spans  []*Span
+	events []Event
+}
+
+// newTracer binds a tracer to the engine clock and trace sink.
+func newTracer(e *sim.Engine) *Tracer {
+	return &Tracer{engine: e}
+}
+
+// Start opens a span of the given kind under parent (nil for a root
+// span). Nil-safe: a nil tracer returns a nil span, whose methods are
+// all no-ops.
+func (tr *Tracer) Start(kind SpanKind, name string, parent *Span) *Span {
+	if tr == nil {
+		return nil
+	}
+	tr.nextID++
+	s := &Span{
+		ID:     tr.nextID,
+		Kind:   kind,
+		Name:   name,
+		Start:  tr.engine.Now(),
+		End:    tr.engine.Now(),
+		tracer: tr,
+		open:   true,
+	}
+	if parent != nil {
+		s.Parent = parent.ID
+	}
+	tr.spans = append(tr.spans, s)
+	return s
+}
+
+// Eventf records a top-level typed event and mirrors it into the engine
+// trace.
+func (tr *Tracer) Eventf(kind SpanKind, format string, args ...any) {
+	if tr == nil {
+		return
+	}
+	tr.record(kind, 0, fmt.Sprintf(format, args...))
+}
+
+func (tr *Tracer) record(kind SpanKind, spanID int, msg string) {
+	tr.events = append(tr.events, Event{T: tr.engine.Now(), Kind: kind, Span: spanID, Msg: msg})
+	tr.engine.Tracef("%s", msg)
+}
+
+// Finish closes the span at the current virtual time. Finishing twice
+// keeps the first end time.
+func (s *Span) Finish() {
+	if s == nil || !s.open {
+		return
+	}
+	s.open = false
+	s.End = s.tracer.engine.Now()
+}
+
+// SetAttr attaches a string attribute (replacing an earlier value for
+// the same key, so retried paths don't grow duplicate attrs).
+func (s *Span) SetAttr(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Value = value
+			return s
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// SetFloat attaches a numeric attribute, rendered with the export
+// float format so traces stay byte-stable.
+func (s *Span) SetFloat(key string, v float64) *Span {
+	return s.SetAttr(key, formatFloat(v))
+}
+
+// Annotate records a plain event attributed to this span.
+func (s *Span) Annotate(msg string) {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.tracer.record(s.Kind, s.ID, msg)
+}
+
+// Eventf records a formatted event attributed to this span and mirrors
+// it into the engine trace — the replacement for direct Tracef calls in
+// the subsystems.
+func (s *Span) Eventf(format string, args ...any) {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.tracer.record(s.Kind, s.ID, fmt.Sprintf(format, args...))
+}
+
+// Trace is the exported form of a tracer: spans in creation order,
+// events in emission order.
+type Trace struct {
+	Spans  []Span  `json:"spans"`
+	Events []Event `json:"events"`
+}
+
+// Export returns the current trace as a value (open spans export with
+// End == the current clock).
+func (tr *Tracer) Export() Trace {
+	if tr == nil {
+		return Trace{}
+	}
+	t := Trace{Spans: make([]Span, 0, len(tr.spans)), Events: append([]Event(nil), tr.events...)}
+	for _, s := range tr.spans {
+		cp := *s
+		cp.tracer = nil
+		if cp.open {
+			cp.End = tr.engine.Now()
+		}
+		cp.Attrs = append([]Attr(nil), s.Attrs...)
+		t.Spans = append(t.Spans, cp)
+	}
+	return t
+}
+
+// JSON renders the trace as indented, diffable JSON; spans and events
+// are already in deterministic order.
+func (tr *Tracer) JSON() string {
+	b, err := json.MarshalIndent(tr.Export(), "", "  ")
+	if err != nil {
+		panic("obs: trace JSON: " + err.Error()) // structs of plain values cannot fail
+	}
+	return string(b)
+}
+
+// DecodeTrace parses a document produced by Tracer.JSON.
+func DecodeTrace(data []byte) (Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return Trace{}, fmt.Errorf("obs: decode trace: %w", err)
+	}
+	return t, nil
+}

@@ -73,13 +73,44 @@ func DefaultThresholds() Thresholds {
 	}
 }
 
+// Rule is one custom tuning rule: it inspects a metrics round and returns
+// zero or more recommendations. Custom rules run after the built-in set,
+// in registration order.
+type Rule func(Metrics) []Recommendation
+
 // Tuner evaluates metrics into recommendations.
 type Tuner struct {
 	Thresholds Thresholds
+
+	rules []Rule
 }
 
-// New returns a tuner with default thresholds.
-func New() *Tuner { return &Tuner{Thresholds: DefaultThresholds()} }
+// Option configures a Tuner under construction.
+type Option func(*Tuner)
+
+// WithThresholds replaces the default thresholds.
+func WithThresholds(th Thresholds) Option {
+	return func(t *Tuner) { t.Thresholds = th }
+}
+
+// WithRule appends a custom rule evaluated after the built-in set.
+func WithRule(r Rule) Option {
+	return func(t *Tuner) { t.rules = append(t.rules, r) }
+}
+
+// New returns a tuner with default thresholds, adjusted by the options.
+func New(opts ...Option) *Tuner {
+	t := &Tuner{Thresholds: DefaultThresholds()}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// NewWithThresholds returns a tuner with the given thresholds.
+//
+// Deprecated: use New(WithThresholds(th)).
+func NewWithThresholds(th Thresholds) *Tuner { return New(WithThresholds(th)) }
 
 // Evaluate applies the rule set to the metrics, most impactful rules first.
 func (t *Tuner) Evaluate(m Metrics) []Recommendation {
@@ -161,6 +192,11 @@ func (t *Tuner) Evaluate(m Metrics) []Recommendation {
 			Action: ActionLargerBlocks,
 			Reason: fmt.Sprintf("%s at %.0f%%: larger dfs.block.size reduces per-block overhead on the filer", b.Resource, b.MeanUtil*100),
 		})
+	}
+
+	// Custom rules run last, in registration order.
+	for _, rule := range t.rules {
+		recs = append(recs, rule(m)...)
 	}
 	return recs
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vhadoop/internal/nfs"
+	"vhadoop/internal/obs"
 	"vhadoop/internal/phys"
 	"vhadoop/internal/sim"
 )
@@ -42,6 +43,9 @@ type Manager struct {
 	nfs    *nfs.Server
 	cfg    Config
 	vms    []*VM
+
+	obs   *obs.Plane // nil outside core.NewPlatform; every use is guarded
+	instr *instruments
 }
 
 // NewManager returns a manager over the given topology and filer.
@@ -117,7 +121,10 @@ func (m *Manager) CrashMachine(pm *phys.Machine) []*VM {
 		}
 	}
 	if len(crashed) > 0 {
-		m.engine.Tracef("machine %s failed, crashed %d VMs", pm.Name, len(crashed))
+		if m.instr != nil {
+			m.instr.machineCrashes.Inc()
+		}
+		m.eventf(obs.KindCluster, "machine %s failed, crashed %d VMs", pm.Name, len(crashed))
 	}
 	return crashed
 }

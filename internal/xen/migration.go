@@ -3,7 +3,9 @@ package xen
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
+	"vhadoop/internal/obs"
 	"vhadoop/internal/phys"
 	"vhadoop/internal/sim"
 )
@@ -92,14 +94,21 @@ func (m *Manager) Migrate(p *sim.Proc, vm *VM, dst *phys.Machine, cfg MigrationC
 	fabric := m.topo.Fabric()
 	path := m.topo.HostPath(src, dst)
 
+	sp := m.obs.Start(obs.KindMigration, vm.Name, nil).
+		SetAttr("from", stats.From).SetAttr("to", stats.To)
+
 	// abort undoes the destination reservation and reports why the
 	// migration cannot complete. The guest is left untouched on the source:
 	// pre-copy rounds never pause it, so there is nothing to resume.
 	abort := func(cause error) (MigrationStats, error) {
 		dst.ReleaseMem(vm.MemBytes)
 		stats.Total = m.engine.Now() - stats.Start
-		m.engine.Tracef("migration aborted %s %s->%s after %d rounds: %v",
+		if m.instr != nil {
+			m.instr.aborts.Inc()
+		}
+		m.spanEventf(sp, "migration aborted %s %s->%s after %d rounds: %v",
 			vm.Name, stats.From, stats.To, stats.Rounds, cause)
+		sp.SetAttr("error", cause.Error()).Finish()
 		return stats, fmt.Errorf("xen: migrate %s: %w", vm.Name, cause)
 	}
 
@@ -156,7 +165,15 @@ func (m *Manager) Migrate(p *sim.Proc, vm *VM, dst *phys.Machine, cfg MigrationC
 
 	stats.Downtime = m.engine.Now() - downStart
 	stats.Total = m.engine.Now() - stats.Start
-	m.engine.Tracef("migrated %s", stats)
+	if m.instr != nil {
+		m.instr.migrations.Inc()
+		m.instr.downtime.Observe(float64(stats.Downtime))
+	}
+	m.spanEventf(sp, "migrated %s", stats)
+	sp.SetFloat("downtime", float64(stats.Downtime)).
+		SetFloat("bytes", stats.BytesSent).
+		SetAttr("rounds", strconv.Itoa(stats.Rounds)).
+		Finish()
 	return stats, nil
 }
 

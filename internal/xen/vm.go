@@ -322,6 +322,9 @@ func (vm *VM) Crash() {
 	}
 	vm.state = StateCrashed
 	vm.host.ReleaseMem(vm.MemBytes)
+	if i := vm.mgr.instr; i != nil {
+		i.vmCrashes.Inc()
+	}
 	// Wake anything parked on the pause gate so it observes the crash.
 	vm.gate.Open()
 	vm.abortInflight(ErrVMDead)

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the data-plane acceptance benchmarks and record the results
-# as JSON (default BENCH_PR1.json in the repo root).
+# as JSON (default BENCH_PR5.json in the repo root).
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR1.json}
+OUT=${1:-BENCH_PR5.json}
 COUNT=${COUNT:-5}
 BENCHTIME=${BENCHTIME:-200x}
 
@@ -40,6 +40,9 @@ run . 'BenchmarkFig4aTeraSort'
 echo "running data-plane micro benchmarks..." >&2
 run ./internal/mapreduce 'BenchmarkReduceMergeVsSort|BenchmarkSortKVs|BenchmarkDefaultPartition'
 run ./internal/clustering 'BenchmarkSquaredEuclidean60|BenchmarkManhattan60|BenchmarkCosine60|BenchmarkNearestSquared'
+
+echo "running observability-plane micro benchmarks..." >&2
+run ./internal/obs 'BenchmarkCounterAdd|BenchmarkRegistryLookup|BenchmarkSnapshotPrometheus|BenchmarkTracerSpan'
 
 # Fold repetitions into min ns/op per benchmark and emit JSON (portable awk:
 # the first pass computes minima, sort orders the names, the second pass
