@@ -33,6 +33,12 @@ type Platform struct {
 
 	DFS *hdfs.Cluster
 	MR  *mapreduce.Cluster
+
+	// collectPlatform's interned gauge handles
+	linkBytes   *obs.GaugeVec
+	linkUtil    *obs.GaugeVec
+	crossDomain *obs.Gauge
+	clusterVMs  *obs.Gauge
 }
 
 // NewPlatform provisions a hadoop virtual cluster per opts: two physical
@@ -44,7 +50,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 		return nil, fmt.Errorf("core: need at least 2 nodes (1 master + 1 worker), got %d", opts.Nodes)
 	}
 	e := sim.New(opts.Seed)
-	plane := obs.New(e)
+	plane := obs.New(e, obs.WithTaskSampling(opts.TaskSampling))
 	fabric := vnet.NewFabric(e)
 	topo := phys.NewTopology(e, fabric, opts.Params.SwitchBW, opts.Params.SwitchLat)
 	pm1 := topo.AddMachine("pm1", opts.Params.machineSpec())
@@ -89,6 +95,10 @@ func NewPlatform(opts Options) (*Platform, error) {
 	mgr.SetObs(plane)
 	pl.DFS.SetObs(plane)
 	pl.MR.SetObs(plane)
+	pl.linkBytes = plane.GaugeVec("vnet_link_bytes", "link")
+	pl.linkUtil = plane.GaugeVec("vnet_link_util_mean", "link")
+	pl.crossDomain = plane.Gauge("cluster_cross_domain")
+	pl.clusterVMs = plane.Gauge("cluster_vms")
 	plane.Registry().OnCollect(pl.collectPlatform)
 	return pl, nil
 }
@@ -97,10 +107,9 @@ func NewPlatform(opts Options) (*Platform, error) {
 // registry snapshot: per-link fabric traffic and the cross-domain bit
 // the tuner's migration rule keys off.
 func (pl *Platform) collectPlatform() {
-	reg := pl.Obs.Registry()
 	for _, l := range pl.Fabric.Links() {
-		reg.Gauge("vnet_link_bytes", "link", l.Name()).Set(l.BytesCarried())
-		reg.Gauge("vnet_link_util_mean", "link", l.Name()).Set(l.MeanUtilization())
+		pl.linkBytes.With(l.Name()).Set(l.BytesCarried())
+		pl.linkUtil.With(l.Name()).Set(l.MeanUtilization())
 	}
 	cross := 0.0
 	for _, vm := range pl.VMs {
@@ -109,8 +118,8 @@ func (pl *Platform) collectPlatform() {
 			break
 		}
 	}
-	reg.Gauge("cluster_cross_domain").Set(cross)
-	reg.Gauge("cluster_vms").Set(float64(len(pl.VMs)))
+	pl.crossDomain.Set(cross)
+	pl.clusterVMs.Set(float64(len(pl.VMs)))
 }
 
 // MustNewPlatform is NewPlatform that panics on error (experiment setup).

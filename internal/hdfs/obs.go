@@ -13,6 +13,10 @@ type instruments struct {
 	readFailovers     *obs.Counter
 	replRepairs       *obs.Counter
 	repairFailures    *obs.Counter
+
+	files           *obs.Gauge
+	datanodesLive   *obs.Gauge
+	underReplicated *obs.Gauge
 }
 
 // SetObs attaches the observability plane: block writes and repair
@@ -32,20 +36,28 @@ func (c *Cluster) SetObs(pl *obs.Plane) {
 		readFailovers:     pl.Counter("hdfs_read_failovers_total"),
 		replRepairs:       pl.Counter("hdfs_repl_repairs_total"),
 		repairFailures:    pl.Counter("hdfs_repair_failures_total"),
+
+		files:           pl.Gauge("hdfs_files"),
+		datanodesLive:   pl.Gauge("hdfs_datanodes_live"),
+		underReplicated: pl.Gauge("hdfs_under_replicated_blocks"),
 	}
 	pl.Registry().OnCollect(c.collect)
 }
 
-// collect refreshes the namespace and replication-health gauges.
+// collect refreshes the namespace and replication-health gauges. These
+// fold live state at snapshot time only — nothing on the write/read hot
+// paths maintains them.
 func (c *Cluster) collect() {
-	reg := c.obs.Registry()
-	reg.Gauge("hdfs_files").Set(float64(len(c.files)))
-	reg.Gauge("hdfs_datanodes_live").Set(float64(len(c.alive())))
-	reg.Gauge("hdfs_under_replicated_blocks").Set(float64(len(c.UnderReplicated())))
+	in := c.instr
+	in.files.Set(float64(len(c.files)))
+	in.datanodesLive.Set(float64(len(c.alive())))
+	in.underReplicated.Set(float64(len(c.UnderReplicated())))
 }
 
 // eventf records a typed top-level trace event through the plane, or
 // falls back to the raw engine trace for clusters built without one.
+// Both sinks are lazy: with no trace sink installed, the plane defers
+// Sprintf to export time and the raw engine drops the line unformatted.
 func (c *Cluster) eventf(kind obs.SpanKind, format string, args ...any) {
 	if c.obs != nil {
 		c.obs.Eventf(kind, format, args...)

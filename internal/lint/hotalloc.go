@@ -12,6 +12,12 @@ import (
 //
 //   - any fmt.* call — every argument is boxed into an interface and
 //     Sprintf-style formatting allocates its result;
+//   - obs registry lookups (Counter/Gauge/Histogram and the vec
+//     constructors) — each call rebuilds or re-canonicalises a metric
+//     key; hot paths must intern handles at construction and use them
+//     (or a vec's With, the sanctioned fast path) instead;
+//   - obs formatted-event calls (Eventf) — argument boxing on every
+//     call even when rendering is deferred;
 //   - string concatenation with + inside a loop — each iteration
 //     allocates an intermediate string;
 //   - escaping closures: a func literal that captures enclosing
@@ -80,9 +86,15 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 		case *ast.AssignStmt:
 			checkAppendGrowth(pass, fd, e, stack)
 		case *ast.CallExpr:
-			if fn := calleeFunc(pass, e); fn != nil && fn.Pkg() != nil &&
-				fn.Pkg().Path() == "fmt" && isPackageLevelFunc(fn) {
-				pass.Reportf(e.Pos(), "fmt.%s in hot function %s allocates (interface boxing + formatted result)", fn.Name(), fd.Name.Name)
+			if fn := calleeFunc(pass, e); fn != nil && fn.Pkg() != nil {
+				switch {
+				case fn.Pkg().Path() == "fmt" && isPackageLevelFunc(fn):
+					pass.Reportf(e.Pos(), "fmt.%s in hot function %s allocates (interface boxing + formatted result)", fn.Name(), fd.Name.Name)
+				case isObsLookup(fn):
+					pass.Reportf(e.Pos(), "obs lookup %s in hot function %s rebuilds the metric key per call; intern the handle at construction (cached field or vec With)", fn.Name(), fd.Name.Name)
+				case isObsFormat(fn):
+					pass.Reportf(e.Pos(), "obs %s in hot function %s boxes its arguments per call; move the event off the hot path or precompute the message", fn.Name(), fd.Name.Name)
+				}
 			}
 		case *ast.BinaryExpr:
 			if e.Op == token.ADD && insideLoop(stack) {
@@ -100,6 +112,46 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 		stack = append(stack, n)
 		return true
 	})
+}
+
+// obsPkgPath is the observability plane package the hot-path rules key
+// off. Methods are matched by receiver package, not receiver type, so
+// Registry, Plane and Tracer lookups are all covered.
+const obsPkgPath = "vhadoop/internal/obs"
+
+// obsMethod reports whether fn is a method named name declared in the
+// obs package.
+func obsMethod(fn *types.Func, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isObsLookup reports whether fn is an obs registry lookup: the string
+// keyed Counter/Gauge/Histogram accessors that canonicalise a key per
+// call, or a vec constructor (which allocates the vec). A vec's With is
+// deliberately not a lookup — the interned hit path is the sanctioned
+// hot-path access.
+func isObsLookup(fn *types.Func) bool {
+	return obsMethod(fn, "Counter", "Gauge", "Histogram",
+		"CounterVec", "GaugeVec", "HistogramVec")
+}
+
+// isObsFormat reports whether fn is a formatted obs event emitter:
+// even with rendering deferred to export time, every call boxes its
+// arguments into []any.
+func isObsFormat(fn *types.Func) bool {
+	return obsMethod(fn, "Eventf")
 }
 
 // checkAppendGrowth flags s = append(s, ...) inside a loop of a hot

@@ -91,12 +91,13 @@ type job struct {
 	stats   JobStats
 	outputs [][]KV // per-reduce (or per-map for map-only) real output records
 
-	// observability spans (nil without a plane); see obs.go
-	span         *obs.Span
-	phaseMap     *obs.Span
-	phaseShuffle *obs.Span
-	phaseReduce  *obs.Span
-	shufflesDone int
+	// observability spans and cached handles (nil without a plane); see obs.go
+	span          *obs.Span
+	phaseMap      *obs.Span
+	phaseShuffle  *obs.Span
+	phaseReduce   *obs.Span
+	shufflesDone  int
+	extraAttempts *obs.Gauge // interned once at submission; see startSpans
 }
 
 func (j *job) finished() bool { return j.isDone }
@@ -173,8 +174,7 @@ func (j *job) complete() {
 	j.stats.Runtime = j.stats.Finished - j.stats.Submitted
 	if i := j.cluster.instr; i != nil {
 		i.jobsCompleted.Inc()
-		j.cluster.obs.Gauge("mr_job_extra_attempts", "job", j.cfg.Name).
-			Set(float64(j.stats.Attempts - j.stats.MapTasks - j.stats.ReduceTasks))
+		j.extraAttempts.Set(float64(j.stats.Attempts - j.stats.MapTasks - j.stats.ReduceTasks))
 	}
 	j.finishSpans()
 	j.done.Fire()

@@ -24,6 +24,15 @@ type instruments struct {
 	speculations   *obs.Counter
 	jobsCompleted  *obs.Counter
 	jobsFailed     *obs.Counter
+
+	extraAttempts *obs.GaugeVec // per-job retry overhead, one member per job name
+
+	cfgMapSlots    *obs.Gauge
+	cfgReduceSlots *obs.Gauge
+	cfgSortBuffer  *obs.Gauge
+	cfgSpeculative *obs.Gauge
+	trackersDead   *obs.Gauge
+	pendingTasks   *obs.Gauge
 }
 
 // SetObs attaches the observability plane: jobs and task attempts get
@@ -48,35 +57,48 @@ func (c *Cluster) SetObs(pl *obs.Plane) {
 		speculations:   pl.Counter("mr_speculative_attempts_total"),
 		jobsCompleted:  pl.Counter("mr_jobs_completed_total"),
 		jobsFailed:     pl.Counter("mr_jobs_failed_total"),
+
+		extraAttempts: pl.GaugeVec("mr_job_extra_attempts", "job"),
+
+		cfgMapSlots:    pl.Gauge("mr_config_map_slots"),
+		cfgReduceSlots: pl.Gauge("mr_config_reduce_slots"),
+		cfgSortBuffer:  pl.Gauge("mr_config_sort_buffer_bytes"),
+		cfgSpeculative: pl.Gauge("mr_config_speculative"),
+		trackersDead:   pl.Gauge("mr_trackers_dead"),
+		pendingTasks:   pl.Gauge("mr_pending_tasks"),
 	}
 	pl.Registry().OnCollect(c.collect)
 }
 
 // collect refreshes the configuration and liveness gauges the tuner's
-// Reader path consumes.
+// Reader path consumes. It runs only at snapshot time, so derived state
+// (dead-tracker count, queue depth) is folded here instead of being
+// maintained per event.
 func (c *Cluster) collect() {
-	reg := c.obs.Registry()
-	reg.Gauge("mr_config_map_slots").Set(float64(c.cfg.MapSlots))
-	reg.Gauge("mr_config_reduce_slots").Set(float64(c.cfg.ReduceSlots))
-	reg.Gauge("mr_config_sort_buffer_bytes").Set(c.cfg.SortBufferBytes)
+	in := c.instr
+	in.cfgMapSlots.Set(float64(c.cfg.MapSlots))
+	in.cfgReduceSlots.Set(float64(c.cfg.ReduceSlots))
+	in.cfgSortBuffer.Set(c.cfg.SortBufferBytes)
 	spec := 0.0
 	if c.cfg.Speculative {
 		spec = 1
 	}
-	reg.Gauge("mr_config_speculative").Set(spec)
+	in.cfgSpeculative.Set(spec)
 	dead := 0
 	for _, tr := range c.trackers {
 		if !tr.Alive() {
 			dead++
 		}
 	}
-	reg.Gauge("mr_trackers_dead").Set(float64(dead))
-	reg.Gauge("mr_pending_tasks").Set(float64(len(c.pending)))
+	in.trackersDead.Set(float64(dead))
+	in.pendingTasks.Set(float64(len(c.pending)))
 }
 
 // eventf records a typed top-level trace event through the plane, or
 // falls back to the raw engine trace for clusters built without one —
-// direct-constructed clusters keep their legacy trace lines.
+// direct-constructed clusters keep their legacy trace lines. Both sinks
+// are lazy: with no trace sink installed, the plane defers Sprintf to
+// export time and the raw engine drops the line unformatted.
 func (c *Cluster) eventf(kind obs.SpanKind, format string, args ...any) {
 	if c.obs != nil {
 		c.obs.Eventf(kind, format, args...)
@@ -95,12 +117,15 @@ func (c *Cluster) spanEventf(sp *obs.Span, format string, args ...any) {
 	c.engine.Tracef(format, args...)
 }
 
-// startSpans opens the job's root span and its map phase at submission.
+// startSpans opens the job's root span and its map phase at submission,
+// and interns the job's per-name metric handles so completion paths
+// never rebuild a registry key.
 func (j *job) startSpans() {
 	pl := j.cluster.obs
 	if pl == nil {
 		return
 	}
+	j.extraAttempts = j.cluster.instr.extraAttempts.With(j.cfg.Name)
 	j.span = pl.Start(obs.KindJob, j.cfg.Name, nil).
 		SetAttr("maps", strconv.Itoa(len(j.maps))).
 		SetAttr("reduces", strconv.Itoa(len(j.reduces)))

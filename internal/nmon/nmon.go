@@ -75,6 +75,14 @@ type Monitor struct {
 
 	samples     *obs.Counter
 	annotations *obs.Counter
+
+	// publish-time gauge families, handles interned per vm/link/disk
+	vmCPUMean  *obs.GaugeVec
+	vmCPUPeak  *obs.GaugeVec
+	vmDiskMean *obs.GaugeVec
+	vmNetMean  *obs.GaugeVec
+	linkUtil   *obs.GaugeVec
+	diskUtil   *obs.GaugeVec
 }
 
 // Option configures a Monitor at construction.
@@ -113,6 +121,12 @@ func New(e *sim.Engine, opts ...Option) *Monitor {
 	if m.plane != nil {
 		m.samples = m.plane.Counter("nmon_samples_total")
 		m.annotations = m.plane.Counter("nmon_annotations_total")
+		m.vmCPUMean = m.plane.GaugeVec("nmon_vm_cpu_mean", "vm")
+		m.vmCPUPeak = m.plane.GaugeVec("nmon_vm_cpu_peak", "vm")
+		m.vmDiskMean = m.plane.GaugeVec("nmon_vm_disk_bps_mean", "vm")
+		m.vmNetMean = m.plane.GaugeVec("nmon_vm_net_bps_mean", "vm")
+		m.linkUtil = m.plane.GaugeVec("nmon_link_util_mean", "link")
+		m.diskUtil = m.plane.GaugeVec("nmon_disk_util_mean", "disk")
 		m.plane.Registry().OnCollect(m.publish)
 	}
 	return m
@@ -121,19 +135,18 @@ func New(e *sim.Engine, opts ...Option) *Monitor {
 // publish refreshes the nmon_* gauges from the collected series — the
 // monitor's registry face, run before every registry snapshot.
 func (m *Monitor) publish() {
-	reg := m.plane.Registry()
 	for _, vm := range m.vms {
 		s := m.series[vm].Summarize()
-		reg.Gauge("nmon_vm_cpu_mean", "vm", s.VM).Set(s.MeanCPU)
-		reg.Gauge("nmon_vm_cpu_peak", "vm", s.VM).Set(s.PeakCPU)
-		reg.Gauge("nmon_vm_disk_bps_mean", "vm", s.VM).Set(s.MeanDiskBps)
-		reg.Gauge("nmon_vm_net_bps_mean", "vm", s.VM).Set(s.MeanNetBps)
+		m.vmCPUMean.With(s.VM).Set(s.MeanCPU)
+		m.vmCPUPeak.With(s.VM).Set(s.PeakCPU)
+		m.vmDiskMean.With(s.VM).Set(s.MeanDiskBps)
+		m.vmNetMean.With(s.VM).Set(s.MeanNetBps)
 	}
 	for _, l := range m.links {
-		reg.Gauge("nmon_link_util_mean", "link", l.Name()).Set(meanUtil(m.linkS[l]))
+		m.linkUtil.With(l.Name()).Set(meanUtil(m.linkS[l]))
 	}
 	for _, d := range m.disks {
-		reg.Gauge("nmon_disk_util_mean", "disk", d.Name()).Set(meanUtil(m.diskS[d]))
+		m.diskUtil.With(d.Name()).Set(meanUtil(m.diskS[d]))
 	}
 }
 

@@ -60,3 +60,67 @@ func BenchmarkTracerSpan(b *testing.B) {
 		sp.Finish()
 	}
 }
+
+// BenchmarkTracerSpanSampled is the same lifecycle with 1-in-16 task
+// sampling: 15 of 16 spans recycle through the freelist.
+func BenchmarkTracerSpanSampled(b *testing.B) {
+	pl := New(sim.New(1), WithTaskSampling(16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := pl.Start(KindTask, "wc:m0.0", nil)
+		sp.SetAttr("vm", "vm01").SetFloat("seconds", 1.5)
+		sp.Finish()
+	}
+}
+
+// BenchmarkVecWithHit measures the interned fast path — the cost hot
+// code pays per With once the tuple is cached — against the legacy
+// string lookup it replaces (BenchmarkRegistryLookup).
+func BenchmarkVecWithHit(b *testing.B) {
+	reg := NewRegistry(nil)
+	v := reg.CounterVec("mr_task_failures_total", "kind")
+	v.With("map").Inc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("map")
+	}
+}
+
+// BenchmarkVecWithHitTwoLabels exercises the array-keyed two-label
+// cache, still allocation-free on hits.
+func BenchmarkVecWithHitTwoLabels(b *testing.B) {
+	reg := NewRegistry(nil)
+	v := reg.GaugeVec("nmon_vm_load", "vm", "kind")
+	v.With("vm01", "map").Set(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("vm01", "map")
+	}
+}
+
+// BenchmarkEventfDisabled measures Eventf with no trace sink installed:
+// formatting is deferred, so the cost is capturing format+args.
+func BenchmarkEventfDisabled(b *testing.B) {
+	pl := New(sim.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Eventf(KindTask, "speculating %s%d of %s", "m", i, "wc")
+	}
+}
+
+// BenchmarkEventfEnabled is the same event with a trace sink installed:
+// eager Sprintf plus the engine-trace mirror.
+func BenchmarkEventfEnabled(b *testing.B) {
+	e := sim.New(1)
+	e.SetTrace(func(t sim.Time, format string, args ...any) {})
+	pl := New(e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Eventf(KindTask, "speculating %s%d of %s", "m", i, "wc")
+	}
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vhadoop/internal/sim"
+)
+
+// TestVecHandleIdentity: With must intern — repeated calls with equal
+// label values return the same handle, and that handle is the same
+// instrument the legacy string lookup resolves.
+func TestVecHandleIdentity(t *testing.T) {
+	r := NewRegistry(nil)
+
+	cv := r.CounterVec("tasks_total", "vm")
+	a := cv.With("vm01")
+	if b := cv.With("vm01"); a != b {
+		t.Fatal("CounterVec.With returned distinct handles for equal labels")
+	}
+	a.Inc()
+	if legacy := r.Counter("tasks_total", "vm", "vm01"); legacy.Value() != 1 {
+		t.Fatal("vec-resolved and string-resolved handles are different instruments")
+	}
+
+	// Two labels hit the array-keyed cache; identity must still hold
+	// against the legacy lookup in either label order.
+	gv := r.GaugeVec("load", "vm", "kind")
+	gv.With("vm02", "map").Set(7)
+	if g := r.Gauge("load", "kind", "map", "vm", "vm02"); g.Value() != 7 {
+		t.Fatal("two-label vec handle not shared with canonicalised lookup")
+	}
+	if g1, g2 := gv.With("vm02", "map"), gv.With("vm02", "map"); g1 != g2 {
+		t.Fatal("two-label With not interned")
+	}
+
+	// Zero and 3+ label arities.
+	zv := r.CounterVec("total")
+	if zv.With() != zv.With() {
+		t.Fatal("zero-label With not interned")
+	}
+	hv := r.HistogramVec("lat", []float64{1, 2}, "a", "b", "c")
+	h := hv.With("1", "2", "3")
+	h.Observe(1.5)
+	if h2 := r.Histogram("lat", []float64{1, 2}, "a", "1", "b", "2", "c", "3"); h2.Count() != 1 {
+		t.Fatal("three-label vec handle not shared with legacy lookup")
+	}
+	if h != hv.With("1", "2", "3") {
+		t.Fatal("three-label With not interned")
+	}
+}
+
+func TestVecArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	NewRegistry(nil).CounterVec("x", "vm").With("a", "b")
+}
+
+// TestVecNilSafety: nil planes and registries must hand out nil vecs
+// whose With chains to nil instruments, all no-ops.
+func TestVecNilSafety(t *testing.T) {
+	var pl *Plane
+	pl.CounterVec("c", "k").With("v").Inc()
+	pl.GaugeVec("g", "k").With("v").Set(1)
+	pl.HistogramVec("h", []float64{1}, "k").With("v").Observe(1)
+	var r *Registry
+	r.CounterVec("c", "k").With("v").Add(2)
+}
+
+// TestDeferredEventRendering: with no trace sink, Eventf defers the
+// Sprintf — but the exported trace must be byte-identical to a run with
+// a sink installed (eager formatting), for the same emission sequence.
+func TestDeferredEventRendering(t *testing.T) {
+	emit := func(withSink bool) (string, int) {
+		e := sim.New(1)
+		lines := 0
+		if withSink {
+			e.SetTrace(func(ts sim.Time, format string, args ...any) { lines++ })
+		}
+		p := New(e)
+		e.Spawn("w", func(pr *sim.Proc) {
+			sp := p.Start(KindJob, "job", nil)
+			pr.Sleep(1)
+			sp.Eventf("attempt %d of %s failed: %v", 3, "wc", fmt.Errorf("boom"))
+			p.Eventf(KindFault, "fault: %s factor %.2f", "netdeg", 0.5)
+			sp.Finish()
+		})
+		e.Run()
+		return p.Tracer().JSON(), lines
+	}
+
+	eager, eagerLines := emit(true)
+	deferred, deferredLines := emit(false)
+	if eager != deferred {
+		t.Fatalf("deferred rendering diverged from eager:\n%s\nvs\n%s", deferred, eager)
+	}
+	if eagerLines != 2 || deferredLines != 0 {
+		t.Fatalf("trace mirroring wrong: eager %d lines (want 2), deferred %d (want 0)", eagerLines, deferredLines)
+	}
+
+	// Exporting twice must not double-render or mutate stored events.
+	e := sim.New(1)
+	p := New(e)
+	p.Eventf(KindCluster, "n=%d", 4)
+	first := p.Tracer().JSON()
+	if second := p.Tracer().JSON(); first != second {
+		t.Fatal("repeated export changed rendered events")
+	}
+}
+
+// TestTaskSamplingCountersExact: with 1-in-n task sampling, only every
+// n-th task span is recorded, other span kinds are untouched, IDs stay
+// dense, and nothing counter-like changes (sampling is a trace-volume
+// knob only).
+func TestTaskSamplingCountersExact(t *testing.T) {
+	e := sim.New(1)
+	p := New(e, WithTaskSampling(3))
+	c := p.Counter("attempts_total")
+	job := p.Start(KindJob, "job", nil)
+	var kept []*Span
+	for i := 0; i < 9; i++ {
+		sp := p.Start(KindTask, "t", job)
+		sp.SetAttr("i", "x").Eventf("task %d", i)
+		c.Inc()
+		sp.Finish()
+		if i%3 == 0 {
+			kept = append(kept, sp)
+		}
+	}
+	job.Finish()
+
+	if c.Value() != 9 {
+		t.Fatalf("counter = %v, want 9 (sampling must not thin metrics)", c.Value())
+	}
+	tr := p.Tracer().Export()
+	tasks := 0
+	for _, s := range tr.Spans {
+		if s.Kind == KindTask {
+			tasks++
+			if s.Parent != job.ID {
+				t.Fatalf("sampled task span lost its parent: %+v", s)
+			}
+		}
+	}
+	if tasks != 3 {
+		t.Fatalf("recorded task spans = %d, want 3 of 9", tasks)
+	}
+	// IDs are dense over recorded spans only: job + 3 tasks = 1..4.
+	for i, s := range tr.Spans {
+		if s.ID != i+1 {
+			t.Fatalf("span IDs not dense: %+v", tr.Spans)
+		}
+	}
+	// Events on dropped spans are discarded; kept spans' events remain.
+	if len(tr.Events) != 3 {
+		t.Fatalf("events = %d, want 3 (one per recorded task)", len(tr.Events))
+	}
+}
+
+// TestPooledSpanReuse: sampled-out spans are recycled through the
+// freelist; reuse must not corrupt previously recorded spans or leak
+// attributes/events across incarnations.
+func TestPooledSpanReuse(t *testing.T) {
+	e := sim.New(1)
+	p := New(e, WithTaskSampling(2))
+	job := p.Start(KindJob, "job", nil)
+	for i := 0; i < 50; i++ {
+		sp := p.Start(KindTask, "t", job)
+		sp.SetAttr("attempt", "1").SetFloat("bytes", float64(i))
+		sp.Eventf("work %d", i)
+		sp.Finish()
+	}
+	job.Finish()
+	tr := p.Tracer().Export()
+
+	wantTasks := 25
+	got := 0
+	for _, s := range tr.Spans {
+		if s.Kind != KindTask {
+			continue
+		}
+		got++
+		// Each recorded span must carry exactly its own two attrs.
+		if !reflect.DeepEqual(attrKeys(s.Attrs), []string{"attempt", "bytes"}) {
+			t.Fatalf("recycled span corrupted attrs: %+v", s.Attrs)
+		}
+	}
+	if got != wantTasks {
+		t.Fatalf("task spans = %d, want %d", got, wantTasks)
+	}
+	if len(tr.Events) != wantTasks {
+		t.Fatalf("events = %d, want %d (dropped spans must not leak events)", len(tr.Events), wantTasks)
+	}
+	// Round-trip through JSON to make sure recycled backing arrays never
+	// alias exported data.
+	dec, err := DecodeTrace([]byte(p.Tracer().JSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, tr) {
+		t.Fatal("export after reuse does not round-trip")
+	}
+}
+
+func attrKeys(attrs []Attr) []string {
+	keys := make([]string, 0, len(attrs))
+	for _, a := range attrs {
+		keys = append(keys, a.Key)
+	}
+	return keys
+}
+
+// TestSamplingOffByDefault: without the option every task span records,
+// byte-identical to the pre-sampling behaviour the determinism suite
+// pins.
+func TestSamplingOffByDefault(t *testing.T) {
+	e := sim.New(1)
+	p := New(e)
+	job := p.Start(KindJob, "job", nil)
+	for i := 0; i < 5; i++ {
+		p.Start(KindTask, "t", job).Finish()
+	}
+	job.Finish()
+	if n := len(p.Tracer().Export().Spans); n != 6 {
+		t.Fatalf("spans = %d, want 6 (sampling must default off)", n)
+	}
+}

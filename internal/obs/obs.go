@@ -38,15 +38,36 @@ type Plane struct {
 	tracer   *Tracer
 }
 
+// Option configures a Plane at construction time.
+type Option func(*Plane)
+
+// WithTaskSampling records only one in n task spans (n > 1). Counters
+// and every other span kind stay exact — only per-attempt KindTask
+// spans are thinned, deterministically (by start order, not randomly),
+// for very large runs where the task table dominates trace size. The
+// default (no option, or n <= 1) records every span and is what the
+// determinism suite pins.
+func WithTaskSampling(n int) Option {
+	return func(pl *Plane) {
+		if n > 1 {
+			pl.tracer.sampleN = n
+		}
+	}
+}
+
 // New creates an observability plane bound to the engine: registry
 // snapshots are stamped with the engine's virtual clock and span events
 // are mirrored into the engine trace.
-func New(e *sim.Engine) *Plane {
-	return &Plane{
+func New(e *sim.Engine, opts ...Option) *Plane {
+	pl := &Plane{
 		engine:   e,
 		registry: NewRegistry(e.Now),
 		tracer:   newTracer(e),
 	}
+	for _, opt := range opts {
+		opt(pl)
+	}
+	return pl
 }
 
 // Registry returns the plane's metrics registry (nil for a nil plane).
@@ -78,6 +99,21 @@ func (pl *Plane) Gauge(name string, labels ...string) *Gauge {
 // Histogram is shorthand for Registry().Histogram.
 func (pl *Plane) Histogram(name string, buckets []float64, labels ...string) *Histogram {
 	return pl.Registry().Histogram(name, buckets, labels...)
+}
+
+// CounterVec is shorthand for Registry().CounterVec.
+func (pl *Plane) CounterVec(name string, keys ...string) *CounterVec {
+	return pl.Registry().CounterVec(name, keys...)
+}
+
+// GaugeVec is shorthand for Registry().GaugeVec.
+func (pl *Plane) GaugeVec(name string, keys ...string) *GaugeVec {
+	return pl.Registry().GaugeVec(name, keys...)
+}
+
+// HistogramVec is shorthand for Registry().HistogramVec.
+func (pl *Plane) HistogramVec(name string, buckets []float64, keys ...string) *HistogramVec {
+	return pl.Registry().HistogramVec(name, buckets, keys...)
 }
 
 // Start is shorthand for Tracer().Start.

@@ -30,6 +30,17 @@ type Attr struct {
 	Value string `json:"value"`
 }
 
+// spanInlineAttrs is the attribute capacity carried inside the Span
+// itself: the platform's spans set at most four attributes on their hot
+// paths (vm + outcome + seconds + one more), so the common case never
+// heap-allocates an attribute slice.
+const spanInlineAttrs = 4
+
+// spanChunk is the arena block size: spans are handed out from blocks
+// of this many, so a run with thousands of task attempts pays one
+// allocation per block instead of one per span.
+const spanChunk = 64
+
 // Span is one timed interval in the trace. IDs are sequential in
 // creation order, so a fixed seed reproduces identical span tables.
 type Span struct {
@@ -41,8 +52,10 @@ type Span struct {
 	End    sim.Time `json:"end"` // == Start while open; set by End()
 	Attrs  []Attr   `json:"attrs,omitempty"`
 
-	tracer *Tracer
-	open   bool
+	tracer  *Tracer
+	open    bool
+	dropped bool // sampled out: recorded nowhere, recycled on Finish
+	inline  [spanInlineAttrs]Attr
 }
 
 // Event is one instantaneous annotation, attributed to a span (or 0 for
@@ -54,14 +67,49 @@ type Event struct {
 	Msg  string   `json:"msg"`
 }
 
+// event is the internal, possibly deferred form of one Event. When the
+// engine's line trace is disabled at emission time there is no observer
+// to satisfy eagerly, so Eventf captures format+args and the message is
+// rendered at export time — in emission order, so exports stay
+// byte-identical with eager formatting. Args must therefore format
+// stably (strings, numbers, errors, value structs — which is all the
+// platform passes); a pointer mutated between emission and export would
+// render differently than it would have eagerly.
+type event struct {
+	t      sim.Time
+	kind   SpanKind
+	span   int
+	msg    string // rendered form; authoritative once format == ""
+	format string // non-empty while rendering is deferred
+	args   []any
+}
+
+// render materialises the message, memoising the result (tracers are
+// sim-context single-threaded).
+func (ev *event) render() string {
+	if ev.format != "" {
+		ev.msg = fmt.Sprintf(ev.format, ev.args...)
+		ev.format = ""
+		ev.args = nil
+	}
+	return ev.msg
+}
+
 // Tracer records spans and events for one platform. Span starts and
-// ends are silent; events additionally write through Engine.Tracef, so
-// the legacy line trace remains a faithful subset of the span trace.
+// ends are silent; events additionally write through Engine.Tracef when
+// a trace sink is installed, so the legacy line trace remains a
+// faithful subset of the span trace.
 type Tracer struct {
 	engine *sim.Engine
 	nextID int
 	spans  []*Span
-	events []Event
+	events []event
+
+	chunk []Span  // arena tail: spans are carved off here
+	free  []*Span // recycled sampled-out spans
+
+	sampleN  int // record 1-in-n task spans; 0 or 1 records all
+	taskSeen int // task spans started, admitted or not
 }
 
 // newTracer binds a tracer to the engine clock and trace sink.
@@ -69,24 +117,51 @@ func newTracer(e *sim.Engine) *Tracer {
 	return &Tracer{engine: e}
 }
 
+// alloc hands out a zeroed span from the freelist or the arena.
+func (tr *Tracer) alloc() *Span {
+	if n := len(tr.free); n > 0 {
+		s := tr.free[n-1]
+		tr.free = tr.free[:n-1]
+		*s = Span{}
+		return s
+	}
+	if len(tr.chunk) == 0 {
+		tr.chunk = make([]Span, spanChunk)
+	}
+	s := &tr.chunk[0]
+	tr.chunk = tr.chunk[1:]
+	return s
+}
+
 // Start opens a span of the given kind under parent (nil for a root
 // span). Nil-safe: a nil tracer returns a nil span, whose methods are
-// all no-ops.
+// all no-ops. With task sampling enabled (see WithTaskSampling),
+// sampled-out task spans are live but unrecorded: their attributes and
+// events are discarded and the span object is recycled on Finish.
 func (tr *Tracer) Start(kind SpanKind, name string, parent *Span) *Span {
 	if tr == nil {
 		return nil
 	}
-	tr.nextID++
-	s := &Span{
-		ID:     tr.nextID,
-		Kind:   kind,
-		Name:   name,
-		Start:  tr.engine.Now(),
-		End:    tr.engine.Now(),
-		tracer: tr,
-		open:   true,
+	s := tr.alloc()
+	if kind == KindTask && tr.sampleN > 1 {
+		tr.taskSeen++
+		if (tr.taskSeen-1)%tr.sampleN != 0 {
+			s.Kind = kind
+			s.tracer = tr
+			s.open = true
+			s.dropped = true
+			return s
+		}
 	}
-	if parent != nil {
+	tr.nextID++
+	s.ID = tr.nextID
+	s.Kind = kind
+	s.Name = name
+	s.Start = tr.engine.Now()
+	s.End = s.Start
+	s.tracer = tr
+	s.open = true
+	if parent != nil && !parent.dropped {
 		s.Parent = parent.ID
 	}
 	tr.spans = append(tr.spans, s)
@@ -94,40 +169,63 @@ func (tr *Tracer) Start(kind SpanKind, name string, parent *Span) *Span {
 }
 
 // Eventf records a top-level typed event and mirrors it into the engine
-// trace.
+// trace when a sink is installed; without one, formatting is deferred
+// to export time.
 func (tr *Tracer) Eventf(kind SpanKind, format string, args ...any) {
 	if tr == nil {
 		return
 	}
-	tr.record(kind, 0, fmt.Sprintf(format, args...))
+	tr.recordf(kind, 0, format, args...)
 }
 
+// record stores a pre-rendered event and mirrors it into the engine
+// trace.
 func (tr *Tracer) record(kind SpanKind, spanID int, msg string) {
-	tr.events = append(tr.events, Event{T: tr.engine.Now(), Kind: kind, Span: spanID, Msg: msg})
+	tr.events = append(tr.events, event{t: tr.engine.Now(), kind: kind, span: spanID, msg: msg})
 	tr.engine.Tracef("%s", msg)
 }
 
+// recordf stores a formatted event: rendered eagerly (and mirrored)
+// when the engine trace is live, captured as format+args otherwise.
+func (tr *Tracer) recordf(kind SpanKind, spanID int, format string, args ...any) {
+	if tr.engine.TraceEnabled() {
+		tr.record(kind, spanID, fmt.Sprintf(format, args...))
+		return
+	}
+	tr.events = append(tr.events, event{t: tr.engine.Now(), kind: kind, span: spanID, format: format, args: args})
+}
+
 // Finish closes the span at the current virtual time. Finishing twice
-// keeps the first end time.
+// keeps the first end time. A sampled-out span returns to the tracer's
+// freelist here — callers must not touch a span after Finish.
 func (s *Span) Finish() {
 	if s == nil || !s.open {
 		return
 	}
 	s.open = false
+	if s.dropped {
+		s.tracer.free = append(s.tracer.free, s)
+		return
+	}
 	s.End = s.tracer.engine.Now()
 }
 
 // SetAttr attaches a string attribute (replacing an earlier value for
-// the same key, so retried paths don't grow duplicate attrs).
+// the same key, so retried paths don't grow duplicate attrs). The first
+// few attributes live inline in the span; only unusually decorated
+// spans spill to the heap.
 func (s *Span) SetAttr(key, value string) *Span {
-	if s == nil {
-		return nil
+	if s == nil || s.dropped {
+		return s
 	}
 	for i := range s.Attrs {
 		if s.Attrs[i].Key == key {
 			s.Attrs[i].Value = value
 			return s
 		}
+	}
+	if s.Attrs == nil {
+		s.Attrs = s.inline[:0]
 	}
 	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
 	return s
@@ -136,12 +234,15 @@ func (s *Span) SetAttr(key, value string) *Span {
 // SetFloat attaches a numeric attribute, rendered with the export
 // float format so traces stay byte-stable.
 func (s *Span) SetFloat(key string, v float64) *Span {
+	if s == nil || s.dropped {
+		return s
+	}
 	return s.SetAttr(key, formatFloat(v))
 }
 
 // Annotate records a plain event attributed to this span.
 func (s *Span) Annotate(msg string) {
-	if s == nil || s.tracer == nil {
+	if s == nil || s.tracer == nil || s.dropped {
 		return
 	}
 	s.tracer.record(s.Kind, s.ID, msg)
@@ -149,12 +250,13 @@ func (s *Span) Annotate(msg string) {
 
 // Eventf records a formatted event attributed to this span and mirrors
 // it into the engine trace — the replacement for direct Tracef calls in
-// the subsystems.
+// the subsystems. Formatting is deferred when no trace sink is
+// installed.
 func (s *Span) Eventf(format string, args ...any) {
-	if s == nil || s.tracer == nil {
+	if s == nil || s.tracer == nil || s.dropped {
 		return
 	}
-	s.tracer.record(s.Kind, s.ID, fmt.Sprintf(format, args...))
+	s.tracer.recordf(s.Kind, s.ID, format, args...)
 }
 
 // Trace is the exported form of a tracer: spans in creation order,
@@ -165,19 +267,33 @@ type Trace struct {
 }
 
 // Export returns the current trace as a value (open spans export with
-// End == the current clock).
+// End == the current clock). Deferred events render here, in emission
+// order.
 func (tr *Tracer) Export() Trace {
 	if tr == nil {
 		return Trace{}
 	}
-	t := Trace{Spans: make([]Span, 0, len(tr.spans)), Events: append([]Event(nil), tr.events...)}
+	t := Trace{Spans: make([]Span, 0, len(tr.spans)), Events: make([]Event, 0, len(tr.events))}
+	for i := range tr.events {
+		ev := &tr.events[i]
+		t.Events = append(t.Events, Event{T: ev.t, Kind: ev.kind, Span: ev.span, Msg: ev.render()})
+	}
 	for _, s := range tr.spans {
-		cp := *s
-		cp.tracer = nil
-		if cp.open {
+		// Rebuild the exported value field by field: a whole-struct copy
+		// would drag the unexported bookkeeping (open flag, inline attr
+		// backing) along and break DeepEqual against decoded traces.
+		cp := Span{
+			ID:     s.ID,
+			Parent: s.Parent,
+			Kind:   s.Kind,
+			Name:   s.Name,
+			Start:  s.Start,
+			End:    s.End,
+			Attrs:  append([]Attr(nil), s.Attrs...),
+		}
+		if s.open {
 			cp.End = tr.engine.Now()
 		}
-		cp.Attrs = append([]Attr(nil), s.Attrs...)
 		t.Spans = append(t.Spans, cp)
 	}
 	return t

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The vector types are the hot-path face of the registry: a vec is
+// declared once per metric family with its label *keys*, and With
+// resolves label *values* to an instrument handle through an interned
+// tuple cache. A cache hit performs one map probe and zero allocations —
+// it never rebuilds the canonical "name{k=v,...}" key the plain
+// Registry.Counter/Gauge/Histogram lookup pays per call. Identity is
+// shared with the legacy lookup: the first With for a tuple registers
+// through the same canonicalisation, so vec-resolved and string-resolved
+// handles for equal (name, labels) hit the same instrument and exports
+// stay byte-identical.
+//
+// Tuple caches are lookup-only maps — they are never iterated, so they
+// cannot leak map order into any export.
+
+// tupleKey joins 3+ label values into one cache key. Values containing
+// the separator would collide, but label values here are identifiers
+// (vm names, metric kinds); the canonical key built on the miss path is
+// authoritative for instrument identity either way.
+func tupleKey(values []string) string {
+	return strings.Join(values, "\xff")
+}
+
+// vecKV builds the alternating key/value list for the slow lookup path.
+func vecKV(keys, values []string) []string {
+	kv := make([]string, 0, 2*len(keys))
+	for i, k := range keys {
+		kv = append(kv, k, values[i])
+	}
+	return kv
+}
+
+func checkArity(name string, keys, values []string) {
+	if len(values) != len(keys) {
+		panic(fmt.Sprintf("obs: vec %s: got %d label values for keys %v", name, len(values), keys))
+	}
+}
+
+// CounterVec interns counter handles per label-value tuple.
+type CounterVec struct {
+	r    *Registry
+	name string
+	keys []string
+
+	zero *Counter               // no labels
+	one  map[string]*Counter    // exactly one label
+	two  map[[2]string]*Counter // exactly two labels
+	more map[string]*Counter    // 3+ labels, tupleKey-joined
+}
+
+// CounterVec declares a counter family with fixed label keys. Resolve
+// handles with With; construction itself registers nothing.
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r: r, name: name, keys: keys}
+}
+
+// With returns the counter for the given label values (one per key, in
+// key order), interning the handle on first use. Nil-safe.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	checkArity(v.name, v.keys, values)
+	switch len(v.keys) {
+	case 0:
+		if v.zero != nil {
+			return v.zero
+		}
+	case 1:
+		if c, ok := v.one[values[0]]; ok {
+			return c
+		}
+	case 2:
+		if c, ok := v.two[[2]string{values[0], values[1]}]; ok {
+			return c
+		}
+	default:
+		if c, ok := v.more[tupleKey(values)]; ok {
+			return c
+		}
+	}
+	return v.miss(values)
+}
+
+func (v *CounterVec) miss(values []string) *Counter {
+	c := v.r.Counter(v.name, vecKV(v.keys, values)...)
+	switch len(v.keys) {
+	case 0:
+		v.zero = c
+	case 1:
+		if v.one == nil {
+			v.one = make(map[string]*Counter)
+		}
+		v.one[values[0]] = c
+	case 2:
+		if v.two == nil {
+			v.two = make(map[[2]string]*Counter)
+		}
+		v.two[[2]string{values[0], values[1]}] = c
+	default:
+		if v.more == nil {
+			v.more = make(map[string]*Counter)
+		}
+		v.more[tupleKey(values)] = c
+	}
+	return c
+}
+
+// GaugeVec interns gauge handles per label-value tuple.
+type GaugeVec struct {
+	r    *Registry
+	name string
+	keys []string
+
+	zero *Gauge
+	one  map[string]*Gauge
+	two  map[[2]string]*Gauge
+	more map[string]*Gauge
+}
+
+// GaugeVec declares a gauge family with fixed label keys.
+func (r *Registry) GaugeVec(name string, keys ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r: r, name: name, keys: keys}
+}
+
+// With returns the gauge for the given label values, interning the
+// handle on first use. Nil-safe.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	checkArity(v.name, v.keys, values)
+	switch len(v.keys) {
+	case 0:
+		if g := v.zero; g != nil {
+			return g
+		}
+	case 1:
+		if g, ok := v.one[values[0]]; ok {
+			return g
+		}
+	case 2:
+		if g, ok := v.two[[2]string{values[0], values[1]}]; ok {
+			return g
+		}
+	default:
+		if g, ok := v.more[tupleKey(values)]; ok {
+			return g
+		}
+	}
+	return v.miss(values)
+}
+
+func (v *GaugeVec) miss(values []string) *Gauge {
+	g := v.r.Gauge(v.name, vecKV(v.keys, values)...)
+	switch len(v.keys) {
+	case 0:
+		v.zero = g
+	case 1:
+		if v.one == nil {
+			v.one = make(map[string]*Gauge)
+		}
+		v.one[values[0]] = g
+	case 2:
+		if v.two == nil {
+			v.two = make(map[[2]string]*Gauge)
+		}
+		v.two[[2]string{values[0], values[1]}] = g
+	default:
+		if v.more == nil {
+			v.more = make(map[string]*Gauge)
+		}
+		v.more[tupleKey(values)] = g
+	}
+	return g
+}
+
+// HistogramVec interns histogram handles per label-value tuple. Every
+// member shares the bucket bounds given at declaration.
+type HistogramVec struct {
+	r       *Registry
+	name    string
+	keys    []string
+	buckets []float64
+
+	zero *Histogram
+	one  map[string]*Histogram
+	two  map[[2]string]*Histogram
+	more map[string]*Histogram
+}
+
+// HistogramVec declares a histogram family with fixed label keys and
+// shared bucket bounds.
+func (r *Registry) HistogramVec(name string, buckets []float64, keys ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{r: r, name: name, keys: keys, buckets: buckets}
+}
+
+// With returns the histogram for the given label values, interning the
+// handle on first use. Nil-safe.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	checkArity(v.name, v.keys, values)
+	switch len(v.keys) {
+	case 0:
+		if h := v.zero; h != nil {
+			return h
+		}
+	case 1:
+		if h, ok := v.one[values[0]]; ok {
+			return h
+		}
+	case 2:
+		if h, ok := v.two[[2]string{values[0], values[1]}]; ok {
+			return h
+		}
+	default:
+		if h, ok := v.more[tupleKey(values)]; ok {
+			return h
+		}
+	}
+	return v.miss(values)
+}
+
+func (v *HistogramVec) miss(values []string) *Histogram {
+	h := v.r.Histogram(v.name, v.buckets, vecKV(v.keys, values)...)
+	switch len(v.keys) {
+	case 0:
+		v.zero = h
+	case 1:
+		if v.one == nil {
+			v.one = make(map[string]*Histogram)
+		}
+		v.one[values[0]] = h
+	case 2:
+		if v.two == nil {
+			v.two = make(map[[2]string]*Histogram)
+		}
+		v.two[[2]string{values[0], values[1]}] = h
+	default:
+		if v.more == nil {
+			v.more = make(map[string]*Histogram)
+		}
+		v.more[tupleKey(values)] = h
+	}
+	return h
+}

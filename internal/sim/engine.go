@@ -52,6 +52,11 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // SetTrace installs fn as the trace sink. Pass nil to disable tracing.
 func (e *Engine) SetTrace(fn func(t Time, format string, args ...any)) { e.tracef = fn }
 
+// TraceEnabled reports whether a trace sink is installed — the fast
+// check instrumentation layers use to skip formatting work when nobody
+// is listening to the line trace.
+func (e *Engine) TraceEnabled() bool { return e.tracef != nil }
+
 // Tracef emits a trace line if tracing is enabled.
 func (e *Engine) Tracef(format string, args ...any) {
 	if e.tracef != nil {

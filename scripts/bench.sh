@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the data-plane acceptance benchmarks and record the results
-# as JSON (default BENCH_PR5.json in the repo root).
+# as JSON (default BENCH_PR6.json in the repo root).
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR5.json}
+OUT=${1:-BENCH_PR6.json}
 COUNT=${COUNT:-5}
 BENCHTIME=${BENCHTIME:-200x}
 
@@ -42,7 +42,7 @@ run ./internal/mapreduce 'BenchmarkReduceMergeVsSort|BenchmarkSortKVs|BenchmarkD
 run ./internal/clustering 'BenchmarkSquaredEuclidean60|BenchmarkManhattan60|BenchmarkCosine60|BenchmarkNearestSquared'
 
 echo "running observability-plane micro benchmarks..." >&2
-run ./internal/obs 'BenchmarkCounterAdd|BenchmarkRegistryLookup|BenchmarkSnapshotPrometheus|BenchmarkTracerSpan'
+run ./internal/obs 'BenchmarkCounterAdd|BenchmarkRegistryLookup|BenchmarkSnapshotPrometheus|BenchmarkTracerSpan$|BenchmarkTracerSpanSampled|BenchmarkVecWithHit|BenchmarkEventf'
 
 # Fold repetitions into min ns/op per benchmark and emit JSON (portable awk:
 # the first pass computes minima, sort orders the names, the second pass
