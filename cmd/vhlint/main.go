@@ -19,6 +19,14 @@
 // view: findings silenced by //vhlint:allow annotations appear with
 // "suppressed": true, but only active findings count toward the exit
 // status.
+//
+// -owners emits the ownership ledger instead of running the analyzers:
+// a deterministic JSON inventory of domain assignments, mutable
+// package-level state, and cross-domain writes with their waiver
+// status. CI regenerates it and diffs against the checked-in
+// SHARDLEDGER.json, so any change to the tree's sharding posture shows
+// up as a reviewable diff. The exit status is 1 if the ledger records
+// any unwaived cross-domain write.
 package main
 
 import (
@@ -44,8 +52,9 @@ type jsonDiag struct {
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per finding, including suppressed ones")
+	owners := flag.Bool("owners", false, "emit the ownership ledger (SHARDLEDGER.json) instead of diagnostics")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vhlint [-list] [-json] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: vhlint [-list] [-json] [-owners] [packages...]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -69,6 +78,23 @@ func main() {
 	dirs, err := lint.Expand(wd, flag.Args())
 	if err != nil {
 		fatal(err)
+	}
+
+	if *owners {
+		led, err := lint.BuildLedger(loader, dirs)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := led.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+		if n := led.UnwaivedCrossings(); n > 0 {
+			fmt.Fprintf(os.Stderr, "vhlint: %d unwaived cross-domain write(s)\n", n)
+			os.Exit(1)
+		}
+		return
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GlobalState flags package-level mutable state reachable from
+// sim.Proc closures. Every future engine shard executes procs; a
+// package-level var a proc writes is implicitly shared across all
+// shards, so it must be confined into a domain object, made
+// immutable-after-init, or explicitly waived. Package-level sync
+// primitives are flagged at the declaration: lock-protected globals
+// are cross-shard coordination by construction, which the engine's
+// single-threaded hand-off core is supposed to make unnecessary.
+//
+// Writes reached through calls are found via the same bottom-up
+// ownership summaries xdomain uses (ownSummary.globals), so the check
+// stays linear in tree size. Writes in init functions and package var
+// initializers are exempt — immutable-after-init is the sanctioned
+// global pattern. Aliasing through stored pointers (p := &g at setup
+// time, *p = v in a proc) is not tracked; see DESIGN.md §11.
+var GlobalState = &Analyzer{
+	Name:      "globalstate",
+	Doc:       "flag package-level mutable state reachable from sim.Proc closures",
+	AppliesTo: determinismCritical,
+	Run:       runGlobalState,
+}
+
+func runGlobalState(pass *Pass) {
+	ip := pass.pkg.interproc()
+	if ip == nil {
+		return
+	}
+	reportSyncGlobals(pass)
+	g := ip.graphFor(pass.pkg)
+	for _, n := range g.bottomUp() {
+		ip.ownSummaryFor(n.fn)
+	}
+	for _, n := range g.order {
+		if n.decl.Body == nil || n.decl.Name.Name == "init" {
+			continue
+		}
+		regions := entryRegions(pass.pkg, n.decl)
+		if len(regions) == 0 {
+			continue
+		}
+		inRegion := func(pos token.Pos) bool {
+			for _, r := range regions {
+				if pos >= r.from && pos <= r.to {
+					return true
+				}
+			}
+			return false
+		}
+		w := newOwnWalker(pass.pkg, ip, n.decl)
+		w.onGlobal = func(pos token.Pos, v types.Object) {
+			if !inRegion(pos) {
+				return
+			}
+			pass.Reportf(pos, "proc code writes package-level var %s: shards would share it; confine it to a domain object, make it immutable-after-init, or annotate //vhlint:allow globalstate -- <reason>",
+				domainKey(v.Pkg().Path(), v.Name()))
+		}
+		w.onGlobalCall = func(pos token.Pos, fn *types.Func, mask uint64) {
+			if !inRegion(pos) || hasProcParam(fn) {
+				return
+			}
+			names := ip.globalNames(mask)
+			pass.Reportf(pos, "call to %s mutates package-level var%s %s from proc code; confine the state to a domain object or annotate //vhlint:allow globalstate -- <reason>",
+				funcKey(fn), plural(len(names)), strings.Join(names, ", "))
+		}
+		w.run()
+	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+// posRange is one proc-entry region of a function body.
+type posRange struct{ from, to token.Pos }
+
+// entryRegions returns the spans of fd that execute as proc code: the
+// whole body when fd takes a *sim.Proc, otherwise the bodies of func
+// literals that take a *sim.Proc or are passed directly to the engine's
+// Spawn/SpawnAfter/At/After scheduling surface.
+func entryRegions(pkg *Package, fd *ast.FuncDecl) []posRange {
+	if funcTypeHasProc(pkg, fd.Type) {
+		return []posRange{{fd.Body.Pos(), fd.Body.End()}}
+	}
+	var out []posRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if funcTypeHasProc(pkg, n.Type) {
+				out = append(out, posRange{n.Body.Pos(), n.Body.End()})
+				return false
+			}
+		case *ast.CallExpr:
+			if fn := staticCallee(pkg.Info, n); fn != nil && isSpawnAPI(fn) {
+				for _, a := range n.Args {
+					if fl, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+						out = append(out, posRange{fl.Body.Pos(), fl.Body.End()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isSpawnAPI reports whether fn is one of the engine's proc/event
+// scheduling entry points.
+func isSpawnAPI(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "vhadoop/internal/sim" {
+		return false
+	}
+	switch fn.Name() {
+	case "Spawn", "SpawnAfter", "At", "After":
+		return true
+	}
+	return false
+}
+
+// hasProcParam reports whether fn's signature takes a *sim.Proc.
+func hasProcParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isProcPtr(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcTypeHasProc reports whether an ast function type declares a
+// *sim.Proc parameter.
+func funcTypeHasProc(pkg *Package, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := pkg.Info.Types[field.Type]; ok && isProcPtr(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isProcPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "vhadoop/internal/sim" && named.Obj().Name() == "Proc"
+}
+
+// reportSyncGlobals flags package-level vars whose type embeds a sync
+// primitive.
+func reportSyncGlobals(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil || !isPkgLevelVar(obj) {
+						continue
+					}
+					if prim := syncPrimIn(obj.Type(), make(map[types.Type]bool)); prim != "" {
+						pass.Reportf(name.Pos(), "package-level var %s contains %s: cross-shard lock state; move it into a domain object or annotate //vhlint:allow globalstate -- <reason>",
+							name.Name, prim)
+					}
+				}
+			}
+		}
+	}
+}
+
+// syncPrimIn returns the name of the first sync/atomic primitive found
+// inside t, or "".
+func syncPrimIn(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok && named.Obj() != nil && named.Obj().Pkg() != nil {
+		switch named.Obj().Pkg().Path() {
+		case "sync", "sync/atomic":
+			return fmt.Sprintf("%s.%s", named.Obj().Pkg().Name(), named.Obj().Name())
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if prim := syncPrimIn(u.Field(i).Type(), seen); prim != "" {
+				return prim
+			}
+		}
+	case *types.Pointer:
+		return syncPrimIn(u.Elem(), seen)
+	case *types.Array:
+		return syncPrimIn(u.Elem(), seen)
+	}
+	return ""
+}

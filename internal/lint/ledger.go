@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The sharding-readiness ledger is the reviewable artifact behind
+// `vhlint -owners`: a deterministic JSON inventory of the ownership
+// model — which state belongs to which domain, which package-level vars
+// are mutable, and every cross-domain write with its waiver status. It
+// is checked in at the repository root (SHARDLEDGER.json) and diffed by
+// CI, so "is the engine shardable yet?" is answered by reading a diff
+// rather than re-deriving the analysis. The encoding carries no
+// positions or timestamps: it is byte-identical across runs and only
+// changes when the ownership structure of the tree changes.
+
+// Ledger is the -owners output. All slices are sorted and all map keys
+// serialize sorted, so marshaling is deterministic.
+type Ledger struct {
+	Version   int                    `json:"version"`
+	Domains   []string               `json:"domains"`
+	Defaults  map[string]string      `json:"defaults"` // package (short path) → default domain
+	Owners    []LedgerOwner          `json:"owners"`
+	Globals   []LedgerGlobal         `json:"globals"`
+	Crossings []LedgerCrossing       `json:"crossings"`
+	Counts    map[string]LedgerCount `json:"counts"`
+}
+
+// LedgerOwner is one explicit domain assignment: a //vhlint:owner
+// annotation or a built-in domain root type.
+type LedgerOwner struct {
+	Key    string `json:"key"`  // pkg.Name, pkg.Type.field, pkg.Recv.Method
+	Kind   string `json:"kind"` // type | field | var | func | root
+	Domain string `json:"domain"`
+	Source string `json:"source"` // annotation | root
+}
+
+// LedgerGlobal is one package-level var some function mutates.
+type LedgerGlobal struct {
+	Key     string   `json:"key"`
+	Domain  string   `json:"domain"`
+	Writers []string `json:"writers"` // functions writing it directly
+}
+
+// LedgerCrossing is one cross-domain write chokepoint, aggregated over
+// its call/write sites.
+type LedgerCrossing struct {
+	Writer       string `json:"writer"` // function containing the write
+	WriterDomain string `json:"writerDomain"`
+	Target       string `json:"target"` // carrier of the written state (or callee)
+	TargetDomain string `json:"targetDomain"`
+	Sites        int    `json:"sites"`
+	Waived       int    `json:"waived"` // sites carrying a //vhlint:allow xdomain
+	Reason       string `json:"reason,omitempty"`
+}
+
+// LedgerCount is one analyzer's finding tally over the tree.
+type LedgerCount struct {
+	Active int `json:"active"`
+	Waived int `json:"waived"`
+}
+
+// BuildLedger loads every package directory and assembles the ownership
+// ledger. All packages are loaded before any analysis so summaries see
+// the whole tree regardless of directory order.
+func BuildLedger(loader *Loader, dirs []string) (*Ledger, error) {
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+
+	led := &Ledger{
+		Version:  1,
+		Domains:  DomainNames(),
+		Defaults: make(map[string]string),
+		Counts:   make(map[string]LedgerCount),
+	}
+	for root, domain := range domainRoots {
+		i := strings.LastIndex(root, ".")
+		led.Owners = append(led.Owners, LedgerOwner{
+			Key:    domainKey(root[:i], root[i+1:]),
+			Kind:   "root",
+			Domain: domain,
+			Source: "root",
+		})
+	}
+
+	type gkey struct{ key, domain string }
+	globals := make(map[gkey]map[string]bool) // → direct writer set
+	crossings := make(map[LedgerCrossing]*LedgerCrossing)
+
+	for _, pkg := range pkgs {
+		if !determinismCritical(pkg.Path) {
+			continue
+		}
+		ip := pkg.interproc()
+		if ip == nil {
+			continue
+		}
+		led.Defaults[shortPath(pkg.Path)] = pkgDefaultDomain(pkg.Path)
+
+		// Annotated owners.
+		idx := pkg.ownerIndex()
+		for obj, domain := range idx.domains {
+			led.Owners = append(led.Owners, LedgerOwner{
+				Key:    domainKey(pkg.Path, idx.keys[obj]),
+				Kind:   idx.kinds[obj],
+				Domain: domain,
+				Source: "annotation",
+			})
+		}
+
+		// Per-function walks: crossings and direct global writes.
+		allows := xdomainAllows(pkg)
+		g := ip.graphFor(pkg)
+		for _, n := range g.bottomUp() {
+			ip.ownSummaryFor(n.fn)
+		}
+		for _, n := range g.order {
+			if n.decl.Body == nil {
+				continue
+			}
+			writer := funcKey(n.fn)
+			w := newOwnWalker(pkg, ip, n.decl)
+			w.onCross = func(pos token.Pos, domain, targetKey string, callee *types.Func) {
+				k := LedgerCrossing{Writer: writer, WriterDomain: w.ctx, Target: targetKey, TargetDomain: domain}
+				c := crossings[k]
+				if c == nil {
+					c = &LedgerCrossing{Writer: writer, WriterDomain: w.ctx, Target: targetKey, TargetDomain: domain}
+					crossings[k] = c
+				}
+				c.Sites++
+				if reason, ok := allowReason(pkg, allows, pos); ok {
+					c.Waived++
+					if c.Reason == "" {
+						c.Reason = reason
+					}
+				}
+			}
+			w.onGlobal = func(pos token.Pos, v types.Object) {
+				d, key := ip.varDomain(v)
+				k := gkey{key, d}
+				if globals[k] == nil {
+					globals[k] = make(map[string]bool)
+				}
+				globals[k][writer] = true
+			}
+			w.run()
+		}
+
+		// Finding counts, with allow suppression applied the same way the
+		// analyzers themselves apply it.
+		for _, a := range []*Analyzer{GlobalState, XDomain} {
+			count := led.Counts[a.Name]
+			for _, diag := range runAnalyzer(pkg, a) {
+				if diag.Suppressed {
+					count.Waived++
+				} else {
+					count.Active++
+				}
+			}
+			led.Counts[a.Name] = count
+		}
+	}
+
+	gkeys := make([]gkey, 0, len(globals))
+	for k := range globals {
+		gkeys = append(gkeys, k)
+	}
+	sort.Slice(gkeys, func(i, j int) bool {
+		if gkeys[i].key != gkeys[j].key {
+			return gkeys[i].key < gkeys[j].key
+		}
+		return gkeys[i].domain < gkeys[j].domain
+	})
+	for _, k := range gkeys {
+		ws := make([]string, 0, len(globals[k]))
+		for wk := range globals[k] {
+			ws = append(ws, wk)
+		}
+		sort.Strings(ws)
+		led.Globals = append(led.Globals, LedgerGlobal{Key: k.key, Domain: k.domain, Writers: ws})
+	}
+	for _, c := range crossings {
+		led.Crossings = append(led.Crossings, *c)
+	}
+	sort.Slice(led.Owners, func(i, j int) bool {
+		a, b := led.Owners[i], led.Owners[j]
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Kind < b.Kind
+	})
+	sort.Slice(led.Crossings, func(i, j int) bool {
+		a, b := led.Crossings[i], led.Crossings[j]
+		if a.Writer != b.Writer {
+			return a.Writer < b.Writer
+		}
+		return a.Target < b.Target
+	})
+	return led, nil
+}
+
+// Encode renders the ledger as indented JSON with a trailing newline —
+// the exact bytes SHARDLEDGER.json holds.
+func (l *Ledger) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(l); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnwaivedCrossings counts crossing sites not covered by a
+// //vhlint:allow xdomain waiver — the number the tree must hold at zero
+// to be shardsafe.
+func (l *Ledger) UnwaivedCrossings() int {
+	n := 0
+	for _, c := range l.Crossings {
+		n += c.Sites - c.Waived
+	}
+	return n
+}
+
+func shortPath(path string) string {
+	p := strings.TrimPrefix(path, "vhadoop/internal/")
+	return strings.TrimPrefix(p, "vhadoop/")
+}
+
+// xdomainAllows collects the package's //vhlint:allow xdomain
+// directives for ledger-side waiver matching.
+func xdomainAllows(pkg *Package) []*Directive {
+	var out []*Directive
+	for _, d := range pkg.Directives() {
+		if d.Kind == DirectiveAllow && d.Analyzer == XDomain.Name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// allowReason applies the same suppression rule runAnalyzer uses — an
+// allow on the finding's line or the line directly above — and returns
+// the waiver's written reason.
+func allowReason(pkg *Package, allows []*Directive, pos token.Pos) (string, bool) {
+	p := pkg.Fset.Position(pos)
+	for _, al := range allows {
+		if al.Pos.Filename == p.Filename && (al.Pos.Line == p.Line || al.Pos.Line == p.Line-1) {
+			return al.Reason, true
+		}
+	}
+	return "", false
+}

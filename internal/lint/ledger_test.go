@@ -1,0 +1,101 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vhadoop/internal/lint"
+)
+
+// buildTreeLedger assembles the ownership ledger over the real
+// repository tree with a fresh loader, exactly as cmd/vhlint -owners
+// does.
+func buildTreeLedger(t *testing.T) []byte {
+	t.Helper()
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dirs, err := lint.Expand(loader.RepoRoot, []string{"./..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	led, err := lint.BuildLedger(loader, dirs)
+	if err != nil {
+		t.Fatalf("BuildLedger: %v", err)
+	}
+	out, err := led.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return out
+}
+
+// TestLedgerDeterministic builds the ledger twice from scratch and
+// demands byte-identical output: the file is CI-diffed, so any map
+// iteration or position leak in its construction is a bug.
+func TestLedgerDeterministic(t *testing.T) {
+	a := buildTreeLedger(t)
+	b := buildTreeLedger(t)
+	if !bytes.Equal(a, b) {
+		t.Errorf("two fresh ledger builds differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// TestLedgerUpToDate compares a fresh build against the checked-in
+// SHARDLEDGER.json. A failure means the tree's ownership structure
+// changed without regenerating the ledger: run
+//
+//	go run ./cmd/vhlint -owners ./... > SHARDLEDGER.json
+//
+// and review the diff.
+func TestLedgerUpToDate(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	checked, err := os.ReadFile(filepath.Join(loader.RepoRoot, "SHARDLEDGER.json"))
+	if err != nil {
+		t.Fatalf("read checked-in ledger: %v", err)
+	}
+	fresh := buildTreeLedger(t)
+	if !bytes.Equal(fresh, checked) {
+		t.Errorf("SHARDLEDGER.json is stale; regenerate with: go run ./cmd/vhlint -owners ./... > SHARDLEDGER.json")
+	}
+}
+
+// TestLedgerShardsafe pins the acceptance bar: the checked-in tree has
+// zero unwaived cross-domain writes, and every waived crossing carries
+// a written reason.
+func TestLedgerShardsafe(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dirs, err := lint.Expand(loader.RepoRoot, []string{"./..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	led, err := lint.BuildLedger(loader, dirs)
+	if err != nil {
+		t.Fatalf("BuildLedger: %v", err)
+	}
+	if n := led.UnwaivedCrossings(); n != 0 {
+		t.Errorf("tree has %d unwaived cross-domain write(s)", n)
+	}
+	for _, c := range led.Crossings {
+		if c.Waived > 0 && c.Reason == "" {
+			t.Errorf("waived crossing %s -> %s has no reason", c.Writer, c.Target)
+		}
+	}
+	for _, name := range []string{"globalstate", "xdomain"} {
+		if _, ok := led.Counts[name]; !ok {
+			t.Errorf("ledger counts missing analyzer %s", name)
+		}
+		if led.Counts[name].Active != 0 {
+			t.Errorf("ledger records %d active %s finding(s); tree must be clean", led.Counts[name].Active, name)
+		}
+	}
+}

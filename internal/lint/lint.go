@@ -31,6 +31,13 @@
 //   - lockfree:   goroutines, channels, select and sync primitives in
 //     simulator-driven code; the engine's strict hand-off core is the
 //     only sanctioned concurrency.
+//   - globalstate: package-level mutable state (vars, sync primitives)
+//     reachable from sim.Proc closures — implicitly shared across all
+//     future engine shards.
+//   - xdomain:    writes to simulator state owned by a different
+//     ownership domain (machine, vnet, engine, shared — assigned by
+//     //vhlint:owner annotations plus root-type/package inference),
+//     outside the engine's sanctioned hand-off surface.
 //   - vhdirective: malformed or misplaced //vhlint: annotations.
 //
 // Suppression uses source annotations, validated by the suite itself:
@@ -105,7 +112,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 var all []*Analyzer
 
 func init() {
-	all = []*Analyzer{MapOrder, SimClock, HotAlloc, FloatAccum, DetFlow, ErrFlow, LockFree, Directives}
+	all = []*Analyzer{MapOrder, SimClock, HotAlloc, FloatAccum, DetFlow, ErrFlow, LockFree, GlobalState, XDomain, Directives}
 }
 
 // All returns every analyzer in the suite, in reporting order.

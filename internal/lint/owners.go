@@ -1,0 +1,569 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the shared ownership machinery behind the globalstate and
+// xdomain analyzers and the -owners sharding-readiness ledger.
+//
+// Simulator state is partitioned into ownership domains — the shard
+// boundaries a parallel DES engine would cut along:
+//
+//	machine  state confined to one physical machine and the VMs on it
+//	         (phys.Machine, xen.VM, per-VM daemons, datanode storage)
+//	vnet     the shared network fabric (links, flows, rate allocation)
+//	engine   the simulation core itself (clock, event queue, hand-off);
+//	         calls into it are the sanctioned cross-domain surface
+//	shared   explicitly cross-shard state (jobtracker bookkeeping,
+//	         namenode metadata, observability); writable from anywhere,
+//	         and the inventory of what sharding must redesign
+//
+// A domain is assigned by a //vhlint:owner <domain> annotation on a type
+// declaration, struct field, package-level var, or function declaration
+// (a function annotation fixes the domain context its body runs in — a
+// per-VM daemon loop that happens to be a method on a shared scheduler,
+// say). Unannotated state is inferred: the domain root types below, then
+// the defining package's default domain, then shared for module-local
+// code. The written-state domain of an lvalue is resolved by walking its
+// selector chain leaf-inward and taking the first field annotation or
+// known container type domain — so vm.mgr.fabric.flows is vnet state
+// even though the chain roots at a machine-domain VM.
+//
+// Every function has a per-call-site ownership summary packed into
+// 64-bit masks, computed bottom-up over the call graph exactly like
+// detflow's taint summaries, so whole-tree analysis stays linear:
+//
+//	writes      domains of state the function mutates, counting only
+//	            writes that match its own context domain — a write that
+//	            crosses a boundary is reported (or waived) at the frame
+//	            where the crossing happens and is not re-billed to every
+//	            caller above it
+//	writeParams bit i: mutates state rooted at argument i whose domain
+//	            only the call site can resolve
+//	globals     bit k: mutates the k-th interned package-level var
+//	fresh       every return value is freshly constructed, so writes to
+//	            locals holding it are construction, not mutation
+
+// Domain names accepted by //vhlint:owner.
+const (
+	DomainMachine = "machine"
+	DomainVnet    = "vnet"
+	DomainEngine  = "engine"
+	DomainShared  = "shared"
+)
+
+// DomainNames returns the valid //vhlint:owner domains.
+func DomainNames() []string {
+	return []string{DomainEngine, DomainMachine, DomainShared, DomainVnet}
+}
+
+func knownDomain(name string) bool {
+	for _, d := range DomainNames() {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// domainBit maps a domain name to its summary bit.
+func domainBit(domain string) uint64 {
+	switch domain {
+	case DomainMachine:
+		return 1 << 0
+	case DomainVnet:
+		return 1 << 1
+	case DomainEngine:
+		return 1 << 2
+	case DomainShared:
+		return 1 << 3
+	}
+	return 0
+}
+
+// domainsOf lists the domain names present in a writes mask.
+func domainsOf(mask uint64) []string {
+	var out []string
+	for _, d := range []string{DomainMachine, DomainVnet, DomainEngine, DomainShared} {
+		if mask&domainBit(d) != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// domainRoots are the types whose reachable state defines a domain even
+// without annotation: the inference roots of the ownership model.
+var domainRoots = map[string]string{
+	"vhadoop/internal/sim.Engine":   DomainEngine,
+	"vhadoop/internal/sim.Proc":     DomainEngine,
+	"vhadoop/internal/phys.Machine": DomainMachine,
+	"vhadoop/internal/xen.VM":       DomainMachine,
+	"vhadoop/internal/vnet.Link":    DomainVnet,
+	"vhadoop/internal/vnet.Fabric":  DomainVnet,
+	"vhadoop/internal/vnet.Flow":    DomainVnet,
+}
+
+// domainDefaults assigns whole packages a default domain; module-local
+// packages not listed here default to shared (coordinator/metadata code).
+var domainDefaults = map[string]string{
+	"vhadoop/internal/sim":  DomainEngine,
+	"vhadoop/internal/phys": DomainMachine,
+	"vhadoop/internal/xen":  DomainMachine,
+	"vhadoop/internal/vnet": DomainVnet,
+}
+
+// pkgDefaultDomain returns the default domain of a package path, or ""
+// for packages outside the module (stdlib state carries no domain).
+func pkgDefaultDomain(path string) string {
+	if d, ok := domainDefaults[path]; ok {
+		return d
+	}
+	if internalPkg(path, "vhadoop", "internal", "cmd", "examples") || strings.HasPrefix(path, "test/") {
+		return DomainShared
+	}
+	if path == "vhadoop" {
+		return DomainShared
+	}
+	return ""
+}
+
+// domainKey renders a stable human/ledger key for an object: the package
+// path with the module prefix trimmed, dot, the object name.
+func domainKey(pkgPath, name string) string {
+	p := strings.TrimPrefix(pkgPath, "vhadoop/internal/")
+	p = strings.TrimPrefix(p, "vhadoop/")
+	return p + "." + name
+}
+
+// ownerIndex is one package's parsed //vhlint:owner annotations: the
+// domain of each annotated type, struct field, package-level var and
+// function object, plus the directive positions that found a home (for
+// vhdirective's attachment check).
+type ownerIndex struct {
+	domains map[types.Object]string
+	claimed map[token.Pos]bool
+	kinds   map[types.Object]string // "type" | "field" | "var" | "func"
+	keys    map[types.Object]string // display key within the package (Type.field, Recv.Method)
+}
+
+// ownerIndex builds (once) the package's owner annotation index.
+func (p *Package) ownerIndex() *ownerIndex {
+	if p.owners != nil {
+		return p.owners
+	}
+	idx := &ownerIndex{
+		domains: make(map[types.Object]string),
+		claimed: make(map[token.Pos]bool),
+		kinds:   make(map[types.Object]string),
+		keys:    make(map[types.Object]string),
+	}
+	p.owners = idx
+
+	owners := make([]*Directive, 0, 8)
+	for _, d := range p.Directives() {
+		if d.Kind == DirectiveOwner {
+			owners = append(owners, d)
+		}
+	}
+	if len(owners) == 0 {
+		return idx
+	}
+	// claim assigns every owner directive inside the comment group to obj.
+	claim := func(cg *ast.CommentGroup, obj types.Object, kind, key string) {
+		if cg == nil || obj == nil {
+			return
+		}
+		for _, d := range owners {
+			if d.TokPos >= cg.Pos() && d.TokPos <= cg.End() {
+				idx.domains[obj] = d.Domain
+				idx.claimed[d.TokPos] = true
+				idx.kinds[obj] = kind
+				idx.keys[obj] = key
+			}
+		}
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				fkey := decl.Name.Name
+				if fn, ok := p.Info.Defs[decl.Name].(*types.Func); ok {
+					fkey = strings.TrimPrefix(funcKey(fn), strings.TrimPrefix(p.Path, "vhadoop/internal/")+".")
+				}
+				claim(decl.Doc, p.Info.Defs[decl.Name], "func", fkey)
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						obj := p.Info.Defs[spec.Name]
+						claim(decl.Doc, obj, "type", spec.Name.Name)
+						claim(spec.Doc, obj, "type", spec.Name.Name)
+						claim(spec.Comment, obj, "type", spec.Name.Name)
+						if st, ok := spec.Type.(*ast.StructType); ok {
+							for _, field := range st.Fields.List {
+								for _, name := range field.Names {
+									fkey := spec.Name.Name + "." + name.Name
+									claim(field.Doc, p.Info.Defs[name], "field", fkey)
+									claim(field.Comment, p.Info.Defs[name], "field", fkey)
+								}
+							}
+						}
+					case *ast.ValueSpec:
+						if decl.Tok != token.VAR {
+							continue
+						}
+						for _, name := range spec.Names {
+							obj := p.Info.Defs[name]
+							if v, ok := obj.(*types.Var); !ok || v.Parent() != p.Types.Scope() {
+								continue // only package-level vars carry domains
+							}
+							claim(decl.Doc, obj, "var", name.Name)
+							claim(spec.Doc, obj, "var", name.Name)
+							claim(spec.Comment, obj, "var", name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// annotatedDomain looks up the //vhlint:owner domain of obj in its
+// defining package, or "".
+func (ip *interproc) annotatedDomain(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	pkg := ip.packageFor(obj.Pkg())
+	if pkg == nil {
+		return ""
+	}
+	return pkg.ownerIndex().domains[obj]
+}
+
+// typeDomain resolves the ownership domain of a type: annotation on the
+// named type, then the root table, then the defining package's default.
+// The second result is the ledger key of the carrier ("" when unowned).
+func (ip *interproc) typeDomain(t types.Type) (string, string) {
+	if t == nil {
+		return "", ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if p, ok := t.(*types.Pointer); ok {
+			return ip.typeDomain(p.Elem())
+		}
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", ""
+	}
+	key := domainKey(obj.Pkg().Path(), obj.Name())
+	if d := ip.annotatedDomain(obj); d != "" {
+		return d, key
+	}
+	if d, ok := domainRoots[obj.Pkg().Path()+"."+obj.Name()]; ok {
+		return d, key
+	}
+	if d := pkgDefaultDomain(obj.Pkg().Path()); d != "" {
+		return d, key
+	}
+	return "", ""
+}
+
+// isPkgLevelVar reports whether obj is a package-level variable.
+func isPkgLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// varDomain resolves the domain of a package-level var: annotation, then
+// the defining package's default.
+func (ip *interproc) varDomain(v types.Object) (string, string) {
+	key := domainKey(v.Pkg().Path(), v.Name())
+	if d := ip.annotatedDomain(v); d != "" {
+		return d, key
+	}
+	return pkgDefaultDomain(v.Pkg().Path()), key
+}
+
+// ctxDomain resolves the domain context a function's body runs in: the
+// //vhlint:owner annotation on the declaration, else the receiver type's
+// domain, else the package default. This is the contract every write in
+// the body is checked against.
+func (ip *interproc) ctxDomain(pkg *Package, fd *ast.FuncDecl) string {
+	if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+		if d := ip.annotatedDomain(obj); d != "" {
+			return d
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if tv, ok := pkg.Info.Types[fd.Recv.List[0].Type]; ok && tv.Type != nil {
+			if d, _ := ip.typeDomain(tv.Type); d != "" {
+				return d
+			}
+		}
+	}
+	return pkgDefaultDomain(pkg.Path)
+}
+
+// writeTarget is the resolved ownership of one lvalue (or mutated call
+// argument).
+type writeTarget struct {
+	domain string       // owning domain, "" when unowned
+	key    string       // ledger key of the carrier (type, field or var)
+	root   types.Object // the identifier the chain bottoms out at, if any
+	atRoot bool         // the domain was resolved from root's own type
+	global types.Object // set when the chain roots at a package-level var
+}
+
+// resolveWrite resolves the ownership of the state mutated by writing
+// through e. The chain is walked leaf-inward: a field annotation wins,
+// then the static type of each containing expression, so the resolution
+// lands on the nearest owned container rather than the syntactic root.
+func (ip *interproc) resolveWrite(pkg *Package, e ast.Expr) writeTarget {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pkg.Info.Defs[e]
+		}
+		if obj == nil {
+			return writeTarget{}
+		}
+		if isPkgLevelVar(obj) {
+			d, key := ip.varDomain(obj)
+			return writeTarget{domain: d, key: key, root: obj, atRoot: true, global: obj}
+		}
+		if v, ok := obj.(*types.Var); ok {
+			d, key := ip.typeDomain(v.Type())
+			return writeTarget{domain: d, key: key, root: obj, atRoot: true}
+		}
+		return writeTarget{}
+	case *ast.SelectorExpr:
+		// Field annotation on the selected field is the most specific owner.
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			fieldObj := sel.Obj()
+			if d := ip.annotatedDomain(fieldObj); d != "" {
+				key := ""
+				if fieldObj.Pkg() != nil {
+					key = domainKey(fieldObj.Pkg().Path(), recvTypeName(sel)+"."+fieldObj.Name())
+				}
+				return writeTarget{domain: d, key: key}
+			}
+		}
+		if tv, ok := pkg.Info.Types[e.X]; ok && tv.Type != nil {
+			if d, key := ip.typeDomain(tv.Type); d != "" {
+				t := ip.resolveWrite(pkg, e.X)
+				return writeTarget{domain: d, key: key, root: t.root, atRoot: isIdentExpr(e.X), global: t.global}
+			}
+		}
+		return ip.resolveWrite(pkg, e.X)
+	case *ast.IndexExpr:
+		if tv, ok := pkg.Info.Types[e.X]; ok && tv.Type != nil {
+			if d, key := ip.typeDomain(tv.Type); d != "" {
+				t := ip.resolveWrite(pkg, e.X)
+				return writeTarget{domain: d, key: key, root: t.root, atRoot: isIdentExpr(e.X), global: t.global}
+			}
+		}
+		return ip.resolveWrite(pkg, e.X)
+	case *ast.StarExpr:
+		if tv, ok := pkg.Info.Types[e.X]; ok && tv.Type != nil {
+			if d, key := ip.typeDomain(tv.Type); d != "" {
+				t := ip.resolveWrite(pkg, e.X)
+				return writeTarget{domain: d, key: key, root: t.root, atRoot: isIdentExpr(e.X), global: t.global}
+			}
+		}
+		return ip.resolveWrite(pkg, e.X)
+	case *ast.CallExpr, *ast.CompositeLit:
+		// Writing through a call result or a literal mutates a value no
+		// one else can name yet.
+		return writeTarget{}
+	}
+	return writeTarget{}
+}
+
+// recvTypeName extracts the receiver type name of a field selection for
+// ledger keys ("Tracker" in mapreduce.Tracker.lastHB).
+func recvTypeName(sel *types.Selection) string {
+	t := sel.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj() != nil {
+		return named.Obj().Name()
+	}
+	return "?"
+}
+
+func isIdentExpr(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.Ident)
+	return ok
+}
+
+// --- ownership summaries ---------------------------------------------
+
+const maxOwnGlobals = 63 // bit 63 is the overflow bucket
+
+// ownSummary is one function's ownership behaviour as seen from a call
+// site: three 64-bit masks plus the fresh-constructor bit.
+type ownSummary struct {
+	writes      uint64 // domain bits of own-context state mutated
+	writeParams uint64 // bit i: mutates state rooted at argument i (receiver-first)
+	globals     uint64 // bit k: mutates interned package-level var k
+	fresh       bool   // all results freshly constructed
+}
+
+// internGlobal assigns (once) a summary bit to a package-level var.
+// Interning order follows analysis order, which is deterministic per
+// run; bit 63 is shared by every var past the first 63.
+func (ip *interproc) internGlobal(v types.Object) int {
+	if i, ok := ip.globalIdx[v]; ok {
+		return i
+	}
+	i := len(ip.globalOrder)
+	if i >= maxOwnGlobals {
+		i = maxOwnGlobals
+	} else {
+		ip.globalOrder = append(ip.globalOrder, v)
+	}
+	ip.globalIdx[v] = i
+	return i
+}
+
+// globalNames renders the var names in a globals mask, sorted.
+func (ip *interproc) globalNames(mask uint64) []string {
+	var out []string
+	for i, v := range ip.globalOrder {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, domainKey(v.Pkg().Path(), v.Name()))
+		}
+	}
+	if mask&(1<<maxOwnGlobals) != 0 {
+		out = append(out, "…")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ownSummaryFor computes (once) the ownership summary of fn, or nil
+// when fn has no module-local source. Recursion resolves optimistically,
+// like detflow.
+func (ip *interproc) ownSummaryFor(fn *types.Func) *ownSummary {
+	if s, ok := ip.ownSummaries[fn]; ok {
+		return s
+	}
+	n := ip.node(fn)
+	if n == nil {
+		return nil
+	}
+	if ip.ownBusy[fn] {
+		return &ownSummary{}
+	}
+	ip.ownBusy[fn] = true
+	s := &ownSummary{}
+	if n.decl.Body != nil {
+		w := newOwnWalker(n.pkg, ip, n.decl)
+		w.summary = s
+		w.run()
+		s.fresh = computeFresh(ip, n, w.freshLocals)
+	}
+	delete(ip.ownBusy, fn)
+	ip.ownSummaries[fn] = s
+	return s
+}
+
+// computeFresh reports whether every return statement of n returns only
+// freshly constructed values.
+func computeFresh(ip *interproc, n *cgNode, freshLocals map[types.Object]bool) bool {
+	sig, ok := n.fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	fresh := true
+	sawReturn := false
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		if !fresh {
+			return false
+		}
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		r, ok := node.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		sawReturn = true
+		if len(r.Results) == 0 {
+			fresh = false // naked return: named results are not tracked
+			return true
+		}
+		for _, res := range r.Results {
+			if !isFreshExpr(ip, n.pkg, res, freshLocals) {
+				fresh = false
+			}
+		}
+		return true
+	})
+	return fresh && sawReturn
+}
+
+// isFreshExpr reports whether e evaluates to state constructed inside
+// the current function (or a callee that only returns fresh state).
+func isFreshExpr(ip *interproc, pkg *Package, e ast.Expr, freshLocals map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CompositeLit, *ast.BasicLit, *ast.FuncLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return isFreshExpr(ip, pkg, e.X, freshLocals)
+		}
+		return false
+	case *ast.Ident:
+		if e.Name == "nil" || e.Name == "true" || e.Name == "false" {
+			return true
+		}
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pkg.Info.Defs[e]
+		}
+		return obj != nil && freshLocals[obj]
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			switch id.Name {
+			case "new", "make", "append":
+				return true
+			}
+		}
+		if fn := staticCallee(pkg.Info, e); fn != nil {
+			if s := ip.ownSummaryFor(fn); s != nil {
+				return s.fresh
+			}
+		}
+		return false
+	}
+	// Basic-typed values (ints, strings, ...) are copies, hence fresh.
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+		switch tv.Type.Underlying().(type) {
+		case *types.Basic:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,443 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ownWalker interprets one function body against the ownership model:
+// it resolves every write (assignments, ++/--, delete/copy/clear, and
+// mutations delegated to callees via their summaries) to a domain and
+// classifies it as own-context, shared, construction of fresh state, or
+// a cross-domain crossing. The same walk serves three consumers — the
+// summary computation (ownSummaryFor), the xdomain analyzer, and the
+// -owners ledger — which differ only in the callbacks they install.
+//
+// Func literals nested in the body run in the enclosing function's
+// domain context: a proc closure spawned by a machine-domain method is
+// machine code. The sanctioned ways to change context are calling into
+// vhadoop/internal/sim (the engine hand-off surface, exempt wholesale)
+// and calling a function that carries an explicit //vhlint:owner
+// annotation — such a function is a declared domain entry point, and
+// invoking one is a context transfer billed to the entry's own domain,
+// not a crossing by the caller.
+type ownWalker struct {
+	pkg  *Package
+	ip   *interproc
+	decl *ast.FuncDecl
+	ctx  string // the body's domain context
+
+	summary     *ownSummary
+	paramIdx    map[types.Object]int // receiver-first parameter positions
+	freshLocals map[types.Object]bool
+
+	// onCross reports a cross-domain write: state of domain written from
+	// a w.ctx context. callee is nil for direct writes, the summarized
+	// callee for writes delegated through a call.
+	onCross func(pos token.Pos, domain, targetKey string, callee *types.Func)
+	// onGlobal reports a direct write to a package-level var.
+	onGlobal func(pos token.Pos, v types.Object)
+	// onGlobalCall reports a call whose callee (transitively) mutates
+	// package-level vars, identified by their summary mask.
+	onGlobalCall func(pos token.Pos, callee *types.Func, mask uint64)
+}
+
+func newOwnWalker(pkg *Package, ip *interproc, fd *ast.FuncDecl) *ownWalker {
+	w := &ownWalker{
+		pkg:      pkg,
+		ip:       ip,
+		decl:     fd,
+		ctx:      ip.ctxDomain(pkg, fd),
+		summary:  &ownSummary{},
+		paramIdx: make(map[types.Object]int),
+	}
+	i := 0
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					w.paramIdx[obj] = i
+				}
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	return w
+}
+
+// run interprets the body once. Freshness is computed first so the walk
+// can tell construction from mutation in a single pass.
+func (w *ownWalker) run() {
+	if w.decl.Body == nil {
+		return
+	}
+	w.freshLocals = computeFreshLocals(w.ip, w.pkg, w.decl.Body)
+	ast.Inspect(w.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true // declarations construct locals, not state
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				w.write(lhs, lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			w.write(n.X, n.X.Pos())
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+// write classifies one lvalue (or call-mutated argument) write.
+func (w *ownWalker) write(e ast.Expr, pos token.Pos) {
+	t := w.ip.resolveWrite(w.pkg, e)
+	if t.global != nil {
+		w.summary.globals |= 1 << uint(w.ip.internGlobal(t.global))
+		if w.onGlobal != nil {
+			w.onGlobal(pos, t.global)
+		}
+	} else if _, bare := ast.Unparen(e).(*ast.Ident); bare {
+		// A bare identifier assigns the variable itself — rebinding a
+		// local never mutates domain state.
+		return
+	}
+	w.classify(t, pos, nil)
+}
+
+// classify routes a resolved write target: own-context and shared
+// writes feed the summary, unowned param-rooted writes become
+// writeParams bits, and foreign-domain writes are crossings reported at
+// this frame (and deliberately not propagated to callers — the deepest
+// frame that crosses the boundary owns the finding or its waiver).
+func (w *ownWalker) classify(t writeTarget, pos token.Pos, callee *types.Func) {
+	switch t.domain {
+	case "":
+		if t.root != nil && t.global == nil {
+			if i, ok := w.paramIdx[t.root]; ok && i < 64 {
+				w.summary.writeParams |= 1 << uint(i)
+			}
+		}
+	case DomainShared:
+		// Shared state is writable from every domain by definition; the
+		// ledger inventories it, the analyzers stay quiet.
+	case w.ctx:
+		w.summary.writes |= domainBit(t.domain)
+	default:
+		if w.freshRooted(t) {
+			return // constructing a fresh object of that domain
+		}
+		if w.onCross != nil {
+			w.onCross(pos, t.domain, t.key, callee)
+		}
+	}
+}
+
+// freshRooted reports whether the write lands inside an object this
+// function constructed itself: the chain roots at a fresh local whose
+// own type carries the written domain.
+func (w *ownWalker) freshRooted(t writeTarget) bool {
+	if t.root == nil || !w.freshLocals[t.root] {
+		return false
+	}
+	v, ok := t.root.(*types.Var)
+	if !ok {
+		return false
+	}
+	d, _ := w.ip.typeDomain(v.Type())
+	return d == t.domain
+}
+
+// call applies a callee's ownership summary at the call site.
+func (w *ownWalker) call(call *ast.CallExpr) {
+	fn := staticCallee(w.pkg.Info, call)
+	if fn == nil {
+		// Mutating builtins write their first argument.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) > 0 {
+			switch id.Name {
+			case "delete", "copy", "clear":
+				w.write(call.Args[0], call.Args[0].Pos())
+			}
+		}
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "vhadoop/internal/sim" {
+		return // engine hand-off surface: the sanctioned crossing
+	}
+	if w.ip.annotatedDomain(fn) != "" {
+		return // declared domain entry point: calling it transfers context
+	}
+	s := w.ip.ownSummaryFor(fn)
+	if s == nil {
+		// No module-local source (stdlib, interface dispatch): assumed
+		// non-mutating; see the limitations note in DESIGN.md §11.
+		return
+	}
+	if s.globals != 0 {
+		w.summary.globals |= s.globals
+		if w.onGlobalCall != nil {
+			w.onGlobalCall(call.Pos(), fn, s.globals)
+		}
+	}
+	// Own-context writes of the callee, re-examined in our context.
+	bits := s.writes &^ domainBit(DomainShared)
+	w.summary.writes |= bits & domainBit(w.ctx)
+	foreign := bits &^ domainBit(w.ctx)
+	if foreign != 0 {
+		for _, d := range domainsOf(foreign) {
+			if w.freshArgsCover(call, fn, d) {
+				continue
+			}
+			if w.onCross != nil {
+				w.onCross(call.Pos(), d, funcKey(fn), fn)
+			}
+		}
+	}
+	// Param-rooted mutations resolve to whatever the arguments are here.
+	if s.writeParams != 0 {
+		args := ownCallArgs(w.pkg, call)
+		for i, a := range args {
+			if i >= 64 {
+				break
+			}
+			if s.writeParams>>uint(i)&1 == 0 {
+				continue
+			}
+			t := w.ip.resolveArg(w.pkg, a)
+			if t.global != nil {
+				w.summary.globals |= 1 << uint(w.ip.internGlobal(t.global))
+				if w.onGlobal != nil {
+					w.onGlobal(a.Pos(), t.global)
+				}
+			}
+			w.classify(t, a.Pos(), fn)
+		}
+	}
+}
+
+// freshArgsCover reports whether every argument of the call that could
+// carry domain d into the callee is a freshly constructed local — in
+// which case the callee's d-domain writes are construction on our
+// behalf, not a crossing. At least one argument must resolve to d;
+// otherwise the callee reaches d-state on its own and no argument can
+// vouch for it.
+func (w *ownWalker) freshArgsCover(call *ast.CallExpr, fn *types.Func, d string) bool {
+	covered := false
+	for _, a := range ownCallArgs(w.pkg, call) {
+		t := w.ip.resolveArg(w.pkg, a)
+		if t.domain != d {
+			continue
+		}
+		if t.root == nil || !w.freshLocals[t.root] {
+			return false
+		}
+		covered = true
+	}
+	return covered
+}
+
+// ownCallArgs is the receiver-first argument list matching ownSummary's
+// parameter indexing: the receiver is position 0 only for genuine
+// method-value calls. Package-qualified calls are not shifted by their
+// package identifier (unlike detflow's callArgs, which tolerates that
+// imprecision because package names carry no taint), and method
+// expressions (T.M)(recv, ...) already pass the receiver first.
+func ownCallArgs(pkg *Package, call *ast.CallExpr) []ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return append([]ast.Expr{sel.X}, call.Args...)
+		}
+	}
+	return call.Args
+}
+
+// resolveArg resolves the ownership of the state an argument hands a
+// mutating callee: the argument value's own type domain first (the
+// callee mutates through the value, wherever it was read from), then
+// the lvalue chain as a fallback for untyped roots.
+func (ip *interproc) resolveArg(pkg *Package, e ast.Expr) writeTarget {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	var root types.Object
+	var global types.Object
+	if id, ok := leafIdent(e); ok {
+		obj := pkg.Info.Uses[id]
+		if obj == nil {
+			obj = pkg.Info.Defs[id]
+		}
+		if obj != nil {
+			root = obj
+			if isPkgLevelVar(obj) {
+				global = obj
+			}
+		}
+	}
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+		if d, key := ip.typeDomain(tv.Type); d != "" {
+			return writeTarget{domain: d, key: key, root: root, global: global}
+		}
+	}
+	if global != nil {
+		d, key := ip.varDomain(global)
+		return writeTarget{domain: d, key: key, root: root, global: global}
+	}
+	return writeTarget{root: root, global: global}
+}
+
+// leafIdent returns the identifier the expression bottoms out at when
+// it is a plain (possibly dereferenced/indexed) chain from one.
+func leafIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// funcKey is the ledger/report key of a function: shortened package
+// path, receiver type for methods, name.
+func funcKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() != nil {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return domainKey(fn.Pkg().Path(), name)
+}
+
+// computeFreshLocals finds the body's locals that only ever hold state
+// constructed inside this function (composite literals, &T{}, new,
+// make, or calls to constructors whose summary proves fresh returns).
+// Writes into such a local's own object are construction, not mutation
+// of pre-existing domain state. Range variables and params are never
+// fresh: they alias state owned elsewhere. The set is a greatest fixed
+// point: everything assigned is optimistically fresh, then any
+// assignment from a non-fresh source revokes, to stability.
+func computeFreshLocals(ip *interproc, pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	type binding struct {
+		obj types.Object
+		rhs ast.Expr // nil for var decls without initializer (zero value: fresh)
+	}
+	var bindings []binding
+	localObj := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		return obj
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				obj := localObj(lhs)
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0] // multi-value call/map/assert form
+				}
+				if n.Tok == token.DEFINE || n.Tok == token.ASSIGN {
+					bindings = append(bindings, binding{obj, rhs})
+				} else {
+					// += and friends derive from the old value; basic types
+					// only, harmless either way.
+					bindings = append(bindings, binding{obj, rhs})
+				}
+				if _, ok := fresh[obj]; !ok {
+					fresh[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				obj := pkg.Info.Defs[name]
+				if obj == nil || name.Name == "_" {
+					continue
+				}
+				var rhs ast.Expr
+				if i < len(n.Values) {
+					rhs = n.Values[i]
+				}
+				bindings = append(bindings, binding{obj, rhs})
+				if _, ok := fresh[obj]; !ok {
+					fresh[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if e == nil {
+					continue
+				}
+				if obj := localObj(e); obj != nil {
+					fresh[obj] = false
+				}
+			}
+		}
+		return true
+	})
+	// Params and results are callers' state, never fresh.
+	for obj := range fresh {
+		if v, ok := obj.(*types.Var); ok && v.Parent() != nil {
+			// A local declared in the body has the body (or a nested
+			// block) as parent; params sit in the function scope above
+			// the body. Distinguishing scopes precisely is fiddly — use
+			// position instead: params are declared before the body.
+			if obj.Pos() < body.Pos() {
+				fresh[obj] = false
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range bindings {
+			if !fresh[b.obj] {
+				continue
+			}
+			if b.rhs != nil && !isFreshExpr(ip, pkg, b.rhs, fresh) {
+				fresh[b.obj] = false
+				changed = true
+			}
+		}
+	}
+	return fresh
+}

@@ -1,0 +1,86 @@
+// Test fixtures for the globalstate analyzer: package-level mutable
+// state reachable from sim.Proc closures. Proc code runs on engine
+// shards; a package-level var it writes is implicitly shared across
+// every shard, so such writes are flagged directly, through callee
+// summaries, and inside closures handed to the engine's scheduling
+// surface. Writes at init time and writes from plain setup code are
+// the sanctioned patterns and stay quiet.
+package globalstate
+
+import (
+	"sync"
+
+	"vhadoop/internal/sim"
+)
+
+// counter is mutable package state; proc-context writes are flagged.
+var counter int
+
+// registry is written only at init time: immutable-after-init is fine.
+var registry = map[string]int{}
+
+// mu is lock state at package level, flagged at the declaration.
+var mu sync.Mutex // want "package-level var mu contains sync.Mutex: cross-shard lock state"
+
+// lockbox buries a primitive inside a nested struct.
+type lockbox struct {
+	inner struct {
+		m sync.RWMutex
+	}
+}
+
+var box lockbox // want "package-level var box contains sync.RWMutex: cross-shard lock state"
+
+func init() {
+	registry["seed"] = 1
+	counter = 0
+}
+
+// direct writes the global straight from a proc body.
+func direct(p *sim.Proc) {
+	counter++ // want "proc code writes package-level var test/globalstate.counter"
+}
+
+// bump has no proc parameter; its summary carries the global write to
+// every caller.
+func bump() {
+	counter++
+}
+
+// viaCall reaches the global through bump's summary.
+func viaCall(p *sim.Proc) {
+	bump() // want "call to test/globalstate.bump mutates package-level var test/globalstate.counter"
+}
+
+// spawned flags writes inside closures handed to the engine's
+// scheduling surface, both the proc and the timer form.
+func spawned(e *sim.Engine) {
+	e.Spawn("w", func(p *sim.Proc) {
+		counter = 7 // want "proc code writes package-level var test/globalstate.counter"
+	})
+	e.At(3, func() {
+		counter = 9 // want "proc code writes package-level var test/globalstate.counter"
+	})
+}
+
+// setup writes the same global outside any proc context: clean.
+func setup() {
+	counter = 1
+}
+
+// helperWithProc takes its own *sim.Proc, so it owns its finding;
+// callers are not billed a second time.
+func helperWithProc(p *sim.Proc) {
+	counter++ // want "proc code writes package-level var test/globalstate.counter"
+}
+
+// delegate calls a proc-taking helper: the call site stays quiet.
+func delegate(p *sim.Proc) {
+	helperWithProc(p)
+}
+
+// waived carries an allow: the finding is suppressed, not emitted.
+func waived(p *sim.Proc) {
+	//vhlint:allow globalstate -- fixture: deliberate shared tally to prove suppression
+	counter++
+}

@@ -1,0 +1,117 @@
+// Test fixtures for the xdomain analyzer: ownership domains assigned
+// via //vhlint:owner annotations and the built-in root table, with
+// cross-domain writes flagged at the deepest frame that crosses. The
+// package path is test/xdomain, so unannotated code here runs in the
+// shared default context.
+package xdomain
+
+import "vhadoop/internal/xen"
+
+// pipe is vnet-domain state; note is the jobtracker-style shared
+// exception proving field overrides beat the type's domain.
+//
+//vhlint:owner vnet
+type pipe struct {
+	queued int
+	note   string //vhlint:owner shared
+}
+
+// node is machine-domain state.
+//
+//vhlint:owner machine
+type node struct {
+	cpu  int
+	wire *pipe
+	tags map[string]bool
+}
+
+// ticker is engine-domain state.
+//
+//vhlint:owner engine
+type ticker struct {
+	ticks int
+}
+
+// load writes its own domain's state: a node method runs in machine
+// context, so this is clean.
+func (n *node) load(v int) {
+	n.cpu = v
+}
+
+// leak writes vnet state directly from machine context.
+func (n *node) leak() {
+	n.wire.queued++ // want "write to test/xdomain.pipe .vnet-domain state. from machine-domain context"
+}
+
+// bump mutates the pipe in its own context; its summary records a
+// vnet-domain write for callers to account for.
+func (pl *pipe) bump() {
+	pl.queued++
+}
+
+// relay crosses by delegation: bump's summary surfaces at the call.
+func (n *node) relay() {
+	n.wire.bump() // want "call to test/xdomain.pipe.bump writes vnet-domain state from machine-domain context"
+}
+
+// tickle reaches engine state from machine context.
+func (n *node) tickle(tk *ticker) {
+	tk.ticks++ // want "write to test/xdomain.ticker .engine-domain state. from machine-domain context"
+}
+
+// steal runs in the package's shared default context and writes
+// machine state.
+func steal(n *node) {
+	n.cpu = 0 // want "write to test/xdomain.node .machine-domain state. from shared-domain context"
+}
+
+// wipe mutates a machine-owned map through the delete builtin.
+func wipe(n *node, key string) {
+	delete(n.tags, key) // want "write to test/xdomain.node .machine-domain state. from shared-domain context"
+}
+
+// resize writes a domain-root type from the built-in table: xen.VM is
+// machine state with no annotation in sight.
+func resize(vm *xen.VM) {
+	vm.MemBytes = 0 // want "write to xen.VM .machine-domain state. from shared-domain context"
+}
+
+// build constructs a fresh pipe: writes during construction of an
+// object this function owns are not crossings.
+func build() *pipe {
+	pl := &pipe{}
+	pl.queued = 4
+	return pl
+}
+
+// ingest is a declared vnet entry point: its body runs in vnet context
+// and calling it is a sanctioned context transfer, not a crossing.
+//
+//vhlint:owner vnet
+func ingest(pl *pipe, v int) {
+	pl.queued += v
+}
+
+// feed calls the entry point from shared context: clean.
+func feed(pl *pipe) {
+	ingest(pl, 1)
+}
+
+// label writes the pipe's shared-annotated field from machine context:
+// the field override wins, so this is clean.
+func (n *node) label() {
+	n.wire.note = "ok"
+}
+
+// rebind reassigns a local holding foreign state: rebinding a variable
+// never mutates domain state.
+func rebind(pl *pipe) {
+	pl = &pipe{}
+	_ = pl
+}
+
+// drain carries a waiver: the crossing is suppressed, not emitted.
+func (n *node) drain() {
+	//vhlint:allow xdomain -- fixture: harness-style direct poke to prove suppression
+	n.wire.queued = 0
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// XDomain enforces domain confinement of simulator state: every
+// function body runs in a domain context (its //vhlint:owner
+// annotation, else its receiver type's domain, else its package's
+// default), and a write to state owned by a different domain — directly
+// or through a callee's ownership summary — is a confinement defect
+// unless it flows through the engine's scheduling surface
+// (vhadoop/internal/sim, the same hand-off core lockfree trusts), a
+// declared //vhlint:owner entry point, or constructs a freshly built
+// object. Crossings are reported at the deepest frame that crosses the
+// boundary, so each chokepoint is fixed or waived exactly once rather
+// than once per caller. Writes to shared-domain state are legal from
+// everywhere: shared is the explicit cross-shard bucket whose
+// inventory `vhlint -owners` ledgers.
+var XDomain = &Analyzer{
+	Name:      "xdomain",
+	Doc:       "flag writes to simulator state owned by a different domain",
+	AppliesTo: determinismCritical,
+	Run:       runXDomain,
+}
+
+func runXDomain(pass *Pass) {
+	ip := pass.pkg.interproc()
+	if ip == nil {
+		return
+	}
+	g := ip.graphFor(pass.pkg)
+	// Summaries bottom-up first, so intra-package forward calls resolve
+	// without hitting the optimistic recursion guard.
+	for _, n := range g.bottomUp() {
+		ip.ownSummaryFor(n.fn)
+	}
+	for _, n := range g.order {
+		if n.decl.Body == nil {
+			continue
+		}
+		w := newOwnWalker(pass.pkg, ip, n.decl)
+		w.onCross = func(pos token.Pos, domain, targetKey string, callee *types.Func) {
+			if callee != nil {
+				pass.Reportf(pos, "call to %s writes %s-domain state from %s-domain context; route it through the engine hand-off, declare the callee a //vhlint:owner entry point, or annotate //vhlint:allow xdomain -- <reason>",
+					targetKey, domain, w.ctx)
+				return
+			}
+			pass.Reportf(pos, "write to %s (%s-domain state) from %s-domain context; route it through the engine hand-off, fix the owner annotations, or annotate //vhlint:allow xdomain -- <reason>",
+				targetKey, domain, w.ctx)
+		}
+		w.run()
+	}
+}

@@ -202,6 +202,8 @@ func (t *Topology) Backbone() *vnet.Link { return t.backbone }
 
 // AddMachine creates a machine with the given spec and attaches it to the
 // switch.
+//
+//vhlint:owner machine
 func (t *Topology) AddMachine(name string, spec MachineSpec) *Machine {
 	duplex := spec.NICDuplexFactor
 	if duplex <= 0 {

@@ -316,6 +316,8 @@ func (vm *VM) DirtyRate() float64 {
 // flows of aborted transfers drain to completion unobserved (the fluid model
 // has no mid-flow cancel), a brief ghost of bandwidth a real failed TCP
 // stream also occupies until timeouts fire.
+//
+//vhlint:owner machine
 func (vm *VM) Crash() {
 	if vm.state == StateCrashed || vm.state == StateShutdown {
 		return
@@ -333,6 +335,8 @@ func (vm *VM) Crash() {
 // Shutdown releases the VM cleanly (cloud lease teardown): the memory
 // reservation returns to the host and any late or in-flight operations
 // abort their processes with ErrVMStopped.
+//
+//vhlint:owner machine
 func (vm *VM) Shutdown() {
 	if vm.state == StateCrashed || vm.state == StateShutdown {
 		return

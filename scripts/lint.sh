@@ -39,3 +39,14 @@ if [[ -n "$stale" ]]; then
   echo "$stale" >&2
   exit 1
 fi
+
+# The ownership ledger is a checked-in artifact: regenerate it and
+# demand a byte-identical match, so every change to the tree's domain
+# structure (new owners, new crossings, new waivers) lands as a
+# reviewable SHARDLEDGER.json diff. Always tree-wide — the ledger spans
+# the module regardless of which packages this run lints.
+echo "vhlint owners ledger..." >&2
+if ! go run ./cmd/vhlint -owners ./... | diff -u SHARDLEDGER.json - >&2; then
+  echo "SHARDLEDGER.json is stale; regenerate with: go run ./cmd/vhlint -owners ./... > SHARDLEDGER.json" >&2
+  exit 1
+fi
