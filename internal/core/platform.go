@@ -49,7 +49,11 @@ func NewPlatform(opts Options) (*Platform, error) {
 	if opts.Nodes < 2 {
 		return nil, fmt.Errorf("core: need at least 2 nodes (1 master + 1 worker), got %d", opts.Nodes)
 	}
-	e := sim.New(opts.Seed)
+	var simOpts []sim.Option
+	if opts.Shards > 1 {
+		simOpts = append(simOpts, sim.WithShards(opts.Shards))
+	}
+	e := sim.New(opts.Seed, simOpts...)
 	plane := obs.New(e, obs.WithTaskSampling(opts.TaskSampling))
 	fabric := vnet.NewFabric(e)
 	topo := phys.NewTopology(e, fabric, opts.Params.SwitchBW, opts.Params.SwitchLat)
@@ -100,6 +104,14 @@ func NewPlatform(opts Options) (*Platform, error) {
 	pl.crossDomain = plane.Gauge("cluster_cross_domain")
 	pl.clusterVMs = plane.Gauge("cluster_vms")
 	plane.Registry().OnCollect(pl.collectPlatform)
+	if opts.Shards > 1 {
+		// Conservative lookahead: no cross-machine event can take effect
+		// sooner than the fastest link propagates, so windows this wide are
+		// race-free by construction.
+		if min := fabric.MinLatency(); min > 0 {
+			e.SetLookahead(min)
+		}
+	}
 	return pl, nil
 }
 

@@ -21,10 +21,11 @@ import (
 
 // Config controls an experiment sweep.
 type Config struct {
-	Seed  int64
-	Reps  int  // repetitions averaged per configuration (paper: 3)
-	Nodes int  // virtual cluster size for the static/migration studies
-	Quick bool // trimmed sweeps (tests, smoke runs)
+	Seed   int64
+	Reps   int  // repetitions averaged per configuration (paper: 3)
+	Nodes  int  // virtual cluster size for the static/migration studies
+	Quick  bool // trimmed sweeps (tests, smoke runs)
+	Shards int  // simulation shard workers; <=1 runs the sequential engine
 }
 
 // DefaultConfig mirrors the paper's protocol.
@@ -48,6 +49,7 @@ func (c Config) platformOptions(layout core.Layout, seed int64) core.Options {
 		opts.Nodes = 16
 	}
 	opts.Layout = layout
+	opts.Shards = c.Shards
 	return opts
 }
 

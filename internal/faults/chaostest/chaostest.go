@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vhadoop/internal/clustering"
 	"vhadoop/internal/core"
 	"vhadoop/internal/datasets"
 	"vhadoop/internal/faults"
@@ -48,6 +49,30 @@ func TeraSort() Workload {
 			return nil, err
 		}
 		return res.Output, nil
+	}}
+}
+
+// Canopy is Mahout-style canopy clustering over the control-chart dataset:
+// the ML workload of the chaos matrix. Its canonical output is the final
+// canopy center set.
+func Canopy() Workload {
+	return Workload{Name: "canopy", Run: func(p *sim.Proc, pl *core.Platform) ([]mapreduce.KV, error) {
+		series := datasets.ControlChart(pl.Engine.Rand(), datasets.DefaultControlChartOptions())
+		vectors := clustering.FromFloats(datasets.ControlVectors(series))
+		d := clustering.NewDriver(pl, "/chaos/canopy")
+		if err := d.Load(p, vectors); err != nil {
+			return nil, err
+		}
+		res, err := clustering.CanopyMR(p, d,
+			clustering.CanopyOptions{T1: 80, T2: 55, Distance: clustering.Euclidean})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]mapreduce.KV, len(res.Centers))
+		for i, c := range res.Centers {
+			out[i] = mapreduce.KV{Key: fmt.Sprintf("c%04d", i), Value: fmt.Sprintf("%.9g", []float64(c))}
+		}
+		return out, nil
 	}}
 }
 
@@ -113,7 +138,20 @@ func Canonical(out []mapreduce.KV) string {
 // the driver's: a completed chaos run means err == nil even though VMs and
 // machines died along the way.
 func Run(w Workload, platformSeed int64, schedule faults.Schedule) (Result, error) {
-	pl := core.MustNewPlatform(Options(platformSeed))
+	return runOn(w, Options(platformSeed), schedule)
+}
+
+// RunSharded is Run on a sharded simulation engine (sim.WithShards). Its
+// entire Result must be byte-identical to Run's for any shard count — the
+// property the top-level differential determinism suite pins.
+func RunSharded(w Workload, platformSeed int64, schedule faults.Schedule, shards int) (Result, error) {
+	opts := Options(platformSeed)
+	opts.Shards = shards
+	return runOn(w, opts, schedule)
+}
+
+func runOn(w Workload, opts core.Options, schedule faults.Schedule) (Result, error) {
+	pl := core.MustNewPlatform(opts)
 	var trace strings.Builder
 	pl.Engine.SetTrace(func(t sim.Time, format string, args ...any) {
 		trace.WriteString(strconv.FormatFloat(t, 'g', -1, 64))

@@ -1,0 +1,731 @@
+package sim
+
+// Sharded execution: a conservative parallel discrete-event core that is
+// bit-identical to the sequential engine.
+//
+// State is partitioned into ownership Domains (the runtime counterpart of
+// the //vhlint:owner domains certified by SHARDLEDGER.json). Domain 0
+// (Shared) is executed by the coordinator — the goroutine that called Run —
+// exactly like the sequential engine. Positive domains are grouped onto
+// shards: worker goroutines with their own event heap, clock and
+// provisional sequence counter.
+//
+// The run loop alternates two regimes:
+//
+//   - If the globally earliest pending event is Shared, the coordinator
+//     executes it alone, in (time, seq) order, exactly as RunUntil does.
+//     Shared events therefore serialise the whole simulation — which is
+//     what makes an untagged (all-Shared) workload behave identically at
+//     any shard count.
+//   - Otherwise the coordinator opens a window: every shard executes its
+//     local events with key < bound, in parallel, where bound is the
+//     minimum of (earliest event time + lookahead), the key of the next
+//     Shared event, and the RunUntil deadline. Conservative lookahead
+//     makes the windows race-free: cross-domain events must be scheduled
+//     at or beyond the window bound, so nothing a shard does inside a
+//     window can affect another shard's same-window execution.
+//
+// Determinism is restored at each barrier by a renumbering replay. During
+// a window each shard stamps newly created events with provisional
+// sequence numbers (all greater than the frozen global counter, assigned
+// in execution order, so each shard's relative order matches what the
+// sequential engine would have produced). At the barrier the coordinator
+// replays the window in merged (time, seq) order without re-executing
+// anything: it pops executed events off a replay heap, emits their
+// buffered trace lines, and assigns final global sequence numbers to
+// their children in creation order — the exact numbers the sequential
+// engine would have handed out. Cross-shard events travel through
+// per-shard outboxes into the target shard's inbox and are drained, in
+// (time, seq) order, into its heap at the same barrier.
+//
+// Because replay renumbering reproduces the sequential (time, seq) total
+// order, traces, observability snapshots and outputs are byte-identical
+// to a sequential run — the property sharddet_test.go, the shard_test.go
+// differential suite and FuzzShardSchedule pin.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Domain identifies an ownership partition of simulation state. Domain 0
+// (Shared) is engine/shared state, executed serially by the coordinator;
+// positive domains are mapped onto shard workers by modulo grouping, so a
+// domain's events always execute on the same shard regardless of how many
+// shards the engine was built with.
+type Domain int
+
+// Shared is the engine/shared domain: its events serialise the simulation.
+const Shared Domain = 0
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithShards sets the number of shard workers. n <= 1 selects the plain
+// sequential engine — byte-for-byte today's single-threaded path.
+func WithShards(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.nshards = n
+	}
+}
+
+// WithLookahead sets the conservative lookahead: the minimum virtual-time
+// distance of any cross-domain event, typically the minimum vnet link
+// latency. Larger lookahead means wider windows and fewer barriers.
+func WithLookahead(d Time) Option {
+	return func(e *Engine) { e.SetLookahead(d) }
+}
+
+// DefaultLookahead is used when no lookahead is configured. It is tiny so
+// an unconfigured sharded engine is correct (windows just stay narrow).
+const DefaultLookahead Time = 1e-6
+
+// SetLookahead adjusts the lookahead between runs. It must not be called
+// while the engine is running.
+func (e *Engine) SetLookahead(d Time) {
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: lookahead must be positive, got %v", d))
+	}
+	e.lookahead = d
+}
+
+// Lookahead returns the configured conservative lookahead.
+func (e *Engine) Lookahead() Time { return e.lookahead }
+
+// Shards returns the configured shard count (1 = sequential).
+func (e *Engine) Shards() int { return e.nshards }
+
+// evKey is a point in the engine's (time, seq) total order.
+type evKey struct {
+	at  Time
+	seq uint64
+}
+
+func keyLess(a, b evKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// bufTrace is one trace line buffered during a window, emitted in
+// sequential order at the barrier.
+type bufTrace struct {
+	at  Time
+	msg string
+}
+
+// shardEv is the shard-mode metadata of an event. It is nil on every
+// event of a sequential engine and on Shared events, so the sequential
+// hot path pays only the pointer field.
+type shardEv struct {
+	sh       *shard     // executing shard; nil would mean Shared (not stored)
+	prov     bool       // seq is provisional until the next barrier renumber
+	children []*event   // events scheduled while this one executed, in order
+	traces   []bufTrace // trace lines emitted while this one executed
+}
+
+// windowCmd is the coordinator -> worker instruction for one window.
+type windowCmd struct {
+	bound evKey
+	quit  bool
+}
+
+// shard is one worker: a slice of the simulation owning every domain that
+// maps to it. Exactly one of {coordinator, this shard's worker, a process
+// dispatched by this worker} runs at any instant with respect to the
+// shard's state; the cmd/ack channel pair is the barrier hand-off and the
+// handoff/resume pair is the per-process baton, mirroring the sequential
+// engine's discipline.
+type shard struct {
+	id  int // 1-based worker index
+	eng *Engine
+
+	now     Time
+	events  eventHeap
+	provSeq uint64 // provisional seq counter, rebased to e.seq every window
+
+	//vhlint:allow lockfree -- barrier hand-off: coordinator -> worker window command; the worker only runs between cmd receive and ack send
+	cmd chan windowCmd
+	//vhlint:allow lockfree -- barrier hand-off: worker -> coordinator window completion; the coordinator blocks here while workers run
+	ack chan struct{}
+	//vhlint:allow lockfree -- hand-off core: per-shard process->worker baton, the shard-local twin of Engine.handoff
+	handoff chan struct{}
+
+	current  *Proc
+	procs    map[*Proc]bool
+	inWindow bool  // true while the worker executes a window body
+	bound    evKey // current window bound (valid while inWindow)
+
+	curEv     *event   // event being executed (children/traces attach here)
+	execd     []*event // events executed this window, in execution order
+	outbox    []*event // cross-context events created this window
+	inbox     []*event // finalised events staged for this shard at a barrier
+	procPanic string   // pending failure report, re-raised by the coordinator
+}
+
+// ensureShards lazily builds the shard workers on first sharded Run.
+func (e *Engine) ensureShards() {
+	if e.shards != nil {
+		return
+	}
+	e.shards = make([]*shard, e.nshards)
+	for i := range e.shards {
+		sh := &shard{
+			id:  i + 1,
+			eng: e,
+			now: e.now,
+			//vhlint:allow lockfree -- barrier hand-off: unbuffered by design so a window command is a rendezvous
+			cmd: make(chan windowCmd),
+			//vhlint:allow lockfree -- barrier hand-off: unbuffered ack, the coordinator never runs concurrently with an acked worker
+			ack: make(chan struct{}),
+			//vhlint:allow lockfree -- hand-off core: unbuffered per-shard baton, exactly one side runs at a time
+			handoff: make(chan struct{}),
+			procs:   make(map[*Proc]bool),
+		}
+		e.shards[i] = sh
+		//vhlint:allow lockfree -- barrier hand-off: the worker goroutine is born parked on cmd and only ever runs inside a window granted by the coordinator
+		go sh.run()
+	}
+}
+
+// shardOf maps a domain to its shard (nil for Shared). Grouping is modulo
+// the shard count, so the mapping is deterministic and a domain never
+// migrates between shards within a run.
+func (e *Engine) shardOf(dom Domain) *shard {
+	if dom <= 0 || e.nshards <= 1 {
+		return nil
+	}
+	e.ensureShards()
+	return e.shards[(int(dom)-1)%len(e.shards)]
+}
+
+// run is the worker main loop.
+func (sh *shard) run() {
+	for {
+		//vhlint:allow lockfree -- barrier hand-off: parked until the coordinator grants a window
+		cmd := <-sh.cmd
+		if cmd.quit {
+			return
+		}
+		sh.window(cmd.bound)
+		//vhlint:allow lockfree -- barrier hand-off: window complete, hand control back to the coordinator
+		sh.ack <- struct{}{}
+	}
+}
+
+// window executes every local event with key < bound in (time, seq)
+// order. A process failure or a lookahead violation aborts the window;
+// the coordinator re-raises it after the barrier.
+func (sh *shard) window(bound evKey) {
+	defer func() {
+		sh.inWindow = false
+		sh.curEv = nil
+		if r := recover(); r != nil && sh.procPanic == "" {
+			sh.procPanic = fmt.Sprintf("sim: shard %d: %v", sh.id, r)
+		}
+	}()
+	sh.bound = bound
+	sh.provSeq = sh.eng.seq // rebase: provisional > every finalised seq
+	sh.inWindow = true
+	for {
+		ev := sh.events.peekLive()
+		if ev == nil || !keyLess(evKey{ev.at, ev.seq}, bound) {
+			return
+		}
+		sh.events.pop()
+		sh.now = ev.at
+		ev.fired = true
+		sh.execd = append(sh.execd, ev)
+		sh.curEv = ev
+		if ev.fn != nil {
+			ev.fn()
+		} else if ev.proc != nil {
+			sh.dispatch(ev.proc)
+		}
+		sh.curEv = nil
+		if sh.procPanic != "" {
+			return
+		}
+	}
+}
+
+// dispatch transfers control to p until it blocks or terminates, the
+// shard-local twin of Engine.dispatch.
+func (sh *shard) dispatch(p *Proc) {
+	if p.terminated {
+		return
+	}
+	sh.current = p
+	//vhlint:allow lockfree -- hand-off core: pass the baton to the process...
+	p.resume <- struct{}{}
+	//vhlint:allow lockfree -- hand-off core: ...and block until it comes back; worker and process never run concurrently
+	<-sh.handoff
+	sh.current = nil
+}
+
+// nextProv returns the next provisional sequence number. Provisional
+// numbers are strictly greater than every finalised seq (they rebase to
+// the frozen global counter each window) and increase in creation order,
+// so each shard's window-local order matches the final renumbered order.
+func (sh *shard) nextProv() uint64 {
+	sh.provSeq++
+	return sh.provSeq
+}
+
+// push validates causality and inserts ev into the shard's heap.
+func (sh *shard) push(ev *event) {
+	if ev.at < sh.now {
+		panic(fmt.Sprintf("sim: shard %d: scheduling event at %v before shard time %v", sh.id, ev.at, sh.now))
+	}
+	sh.events.push(ev)
+}
+
+// schedule creates a window-local resume event for p at time t. Worker
+// context only.
+func (sh *shard) schedule(p *Proc, t Time) *Timer {
+	ev := &event{at: t, seq: sh.nextProv(), proc: p, sx: &shardEv{sh: sh, prov: true}}
+	sh.record(ev)
+	sh.push(ev)
+	return &Timer{ev: ev}
+}
+
+// scheduleFn creates a window-local fn event targeting target (which may
+// be this shard or, for a cross-domain send, another one). Worker context
+// only; cross-shard events are staged in the outbox for barrier routing.
+func (sh *shard) scheduleFn(target *shard, t Time, fn func()) *event {
+	ev := &event{at: t, seq: sh.nextProv(), fn: fn, sx: &shardEv{sh: target, prov: true}}
+	sh.record(ev)
+	if target == sh {
+		sh.push(ev)
+	} else {
+		sh.outbox = append(sh.outbox, ev)
+	}
+	return ev
+}
+
+// record appends ev to the executing event's children, the barrier
+// renumbering order.
+func (sh *shard) record(ev *event) {
+	if sh.curEv == nil || sh.curEv.sx == nil {
+		panic(fmt.Sprintf("sim: shard %d: scheduling outside an executing event", sh.id))
+	}
+	sh.curEv.sx.children = append(sh.curEv.sx.children, ev)
+}
+
+// checkLookahead enforces the conservative contract: a cross-domain event
+// must land at or beyond the current window bound, which the window
+// construction guarantees whenever the scheduling delay is at least the
+// engine lookahead.
+func (sh *shard) checkLookahead(t Time, what string) {
+	if t < sh.bound.at {
+		panic(fmt.Sprintf(
+			"sim: shard %d: cross-domain %s at t=%v lands inside the current window (bound %v): cross-domain events need a delay of at least the lookahead (%v); raise the delay or lower the engine lookahead",
+			sh.id, what, t, sh.bound.at, sh.eng.lookahead))
+	}
+}
+
+// inject schedules ev into a shard from coordinator context (between
+// windows: setup code, Shared events, Abort from Shared code). The seq is
+// final — the coordinator owns the global counter — and shared->shard
+// scheduling needs no lookahead because every shard is at or behind the
+// coordinator's clock while Shared code runs.
+func (e *Engine) inject(sh *shard, ev *event) {
+	ev.seq = e.nextSeq()
+	sh.push(ev)
+	e.anyShard = true
+}
+
+// globalNow returns the latest clock across the coordinator and all
+// shards — the virtual time a drained sharded run has reached.
+func (e *Engine) globalNow() Time {
+	t := e.now
+	for _, sh := range e.shards {
+		if sh.now > t {
+			t = sh.now
+		}
+	}
+	return t
+}
+
+// runSharded is the coordinator loop: RunUntil for a sharded engine.
+func (e *Engine) runSharded(deadline Time) Time {
+	e.ensureShards()
+	for !e.stopped {
+		sev := e.events.peekLive()
+		// The globally earliest shard event, if any.
+		var minSh *shard
+		var minKey evKey
+		if e.anyShard {
+			for _, sh := range e.shards {
+				if ev := sh.events.peekLive(); ev != nil {
+					k := evKey{ev.at, ev.seq}
+					if minSh == nil || keyLess(k, minKey) {
+						minSh, minKey = sh, k
+					}
+				}
+			}
+		}
+		if sev != nil && (minSh == nil || keyLess(evKey{sev.at, sev.seq}, minKey)) {
+			// A Shared event is globally next: execute it exactly like the
+			// sequential engine, alone.
+			if sev.at > deadline {
+				e.events.pop()
+				sev.seq = 0 // keep it ahead of same-time events scheduled later
+				e.events.push(sev)
+				e.now = deadline
+				return e.now
+			}
+			e.events.pop()
+			e.now = sev.at
+			sev.fired = true
+			if sev.fn != nil {
+				sev.fn()
+			} else if sev.proc != nil {
+				e.dispatch(sev.proc)
+			}
+			continue
+		}
+		if minSh == nil {
+			break // fully drained
+		}
+		if minKey.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		// Parallel window: earliest time plus lookahead, cut at the next
+		// Shared event and at the deadline.
+		bound := evKey{minKey.at + e.lookahead, 0}
+		if sev != nil && keyLess(evKey{sev.at, sev.seq}, bound) {
+			bound = evKey{sev.at, sev.seq}
+		}
+		if bound.at > deadline {
+			bound = evKey{deadline, math.MaxUint64}
+		}
+		e.runWindow(bound)
+	}
+	e.now = e.globalNow()
+	return e.now
+}
+
+// runWindow runs one parallel window across all shards with work before
+// bound, then performs the barrier: re-raise failures, renumber, route
+// outboxes and drain inboxes.
+func (e *Engine) runWindow(bound evKey) {
+	e.windowActive = true
+	var active []*shard
+	for _, sh := range e.shards {
+		ev := sh.events.peekLive()
+		if ev != nil && keyLess(evKey{ev.at, ev.seq}, bound) {
+			active = append(active, sh)
+		}
+	}
+	for _, sh := range active {
+		//vhlint:allow lockfree -- barrier hand-off: grant the window; the coordinator does not touch shard state until the ack
+		sh.cmd <- windowCmd{bound: bound}
+	}
+	for _, sh := range active {
+		//vhlint:allow lockfree -- barrier hand-off: wait for the worker to finish its window
+		<-sh.ack
+	}
+	e.windowActive = false
+	var failures []string
+	for _, sh := range e.shards {
+		if sh.procPanic != "" {
+			failures = append(failures, sh.procPanic)
+			sh.procPanic = ""
+		}
+	}
+	if len(failures) > 0 {
+		// Deterministic: collected in shard order. The aborted window's
+		// outboxes stay staged; Shutdown drains them.
+		panic(strings.Join(failures, "; "))
+	}
+	e.renumber()
+	e.routeOutboxes()
+	e.drainInboxes()
+}
+
+// renumber is the barrier replay: it walks the window's executed events
+// in merged (time, seq) order — without re-executing anything — emitting
+// buffered trace lines and assigning final sequence numbers to children
+// in creation order, exactly as the sequential engine would have.
+func (e *Engine) renumber() {
+	var pq eventHeap
+	for _, sh := range e.shards {
+		for _, ev := range sh.execd {
+			if ev.sx != nil && !ev.sx.prov {
+				pq.push(ev)
+			}
+		}
+	}
+	for {
+		ev := pq.pop()
+		if ev == nil {
+			break
+		}
+		sx := ev.sx
+		if e.tracef != nil {
+			for _, tl := range sx.traces {
+				e.tracef(tl.at, "%s", tl.msg)
+			}
+		}
+		for _, c := range sx.children {
+			c.seq = e.nextSeq()
+			c.sx.prov = false
+			if c.fired {
+				pq.push(c)
+			}
+		}
+		sx.children = nil
+		sx.traces = nil
+	}
+	for _, sh := range e.shards {
+		sh.execd = sh.execd[:0]
+	}
+}
+
+// routeOutboxes moves cross-context events created during the window into
+// their target shard's inbox (or the Shared heap). Every outbox event was
+// renumbered by the replay — it is a child of an executed event.
+func (e *Engine) routeOutboxes() {
+	for _, sh := range e.shards {
+		for _, ev := range sh.outbox {
+			if ev.cancelled {
+				continue
+			}
+			if ev.sx.prov {
+				panic("sim: internal: outbox event escaped renumbering")
+			}
+			target := ev.sx.sh
+			if target == nil {
+				e.events.push(ev)
+				continue
+			}
+			target.inbox = append(target.inbox, ev)
+		}
+		sh.outbox = sh.outbox[:0]
+	}
+}
+
+// drainInboxes empties every shard's inbox into its heap in (time, seq)
+// order. Runs at each barrier and — so no cross-shard event can land on a
+// torn-down shard — as the first step of Shutdown.
+func (e *Engine) drainInboxes() {
+	for _, sh := range e.shards {
+		if len(sh.inbox) == 0 {
+			continue
+		}
+		sort.Slice(sh.inbox, func(i, j int) bool {
+			return keyLess(evKey{sh.inbox[i].at, sh.inbox[i].seq}, evKey{sh.inbox[j].at, sh.inbox[j].seq})
+		})
+		for _, ev := range sh.inbox {
+			sh.push(ev)
+		}
+		sh.inbox = sh.inbox[:0]
+		e.anyShard = true
+	}
+}
+
+// shutdownSharded tears down a sharded engine: drain staged cross-shard
+// events first (an aborted window may have left outboxes behind), kill
+// every live process in start order, stop the workers, clear all heaps.
+func (e *Engine) shutdownSharded() {
+	// Step 1: drain. Stray outbox events from an aborted window carry
+	// provisional seqs; give them final ones so heap ordering during the
+	// teardown below stays total, then deliver everything.
+	for _, sh := range e.shards {
+		for _, ev := range sh.outbox {
+			if ev.sx.prov {
+				ev.seq = e.nextSeq()
+				ev.sx.prov = false
+			}
+		}
+	}
+	e.routeOutboxes()
+	e.drainInboxes()
+	// Step 2: kill every started live process, coordinator- and
+	// shard-owned alike, in spawn order (the start event's seq — the same
+	// relative order the sequential engine's spawnSeq produces).
+	var live []*Proc
+	for p := range e.procs {
+		live = append(live, p)
+	}
+	for _, sh := range e.shards {
+		for p := range sh.procs {
+			live = append(live, p)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].startSeq() < live[j].startSeq() })
+	for _, p := range live {
+		if !p.started || p.terminated {
+			delete(e.procs, p)
+			if p.sh != nil {
+				delete(p.sh.procs, p)
+			}
+			continue
+		}
+		p.killed = true
+		// The per-process baton works from the coordinator because every
+		// worker is parked between windows: resume the process, wait for
+		// its unwind to hand the baton back.
+		//vhlint:allow lockfree -- hand-off core: teardown baton, same pair dispatch uses; workers are parked so the coordinator is the only other runner
+		p.resume <- struct{}{}
+		//vhlint:allow lockfree -- hand-off core: block until the unwound process hands back
+		<-p.handoff
+		if msg := e.procPanic; msg != "" {
+			e.procPanic = ""
+			panic(msg)
+		}
+		for _, sh := range e.shards {
+			if msg := sh.procPanic; msg != "" {
+				sh.procPanic = ""
+				panic(msg)
+			}
+		}
+	}
+	// Step 3: stop the workers and clear all event state. The engine is
+	// reusable: the next sharded Run rebuilds fresh workers.
+	for _, sh := range e.shards {
+		//vhlint:allow lockfree -- barrier hand-off: final command; the worker goroutine exits on receipt
+		sh.cmd <- windowCmd{quit: true}
+		sh.events = nil
+		sh.inbox = nil
+		sh.outbox = nil
+		sh.execd = nil
+	}
+	e.shards = nil
+	e.anyShard = false
+	e.events = nil
+	e.stopped = false
+}
+
+// --- Domain-tagged spawning and sending ------------------------------------
+
+// SpawnOn creates a process owned by dom, starting at the current time.
+// Must be called from Shared context (setup code, a Shared event or a
+// Shared process). With one shard — or for the Shared domain — it is
+// exactly Spawn.
+func (e *Engine) SpawnOn(dom Domain, name string, fn func(p *Proc)) *Proc {
+	return e.SpawnOnAfter(dom, 0, name, fn)
+}
+
+// SpawnOnAfter is SpawnOn with a start delay.
+func (e *Engine) SpawnOnAfter(dom Domain, d Time, name string, fn func(p *Proc)) *Proc {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	sh := e.shardOf(dom)
+	if sh == nil {
+		p := e.SpawnAfter(d, name, fn)
+		p.dom = dom
+		return p
+	}
+	if e.windowActive {
+		panic("sim: Engine.SpawnOn called from shard context; use Proc.SpawnOnAfter")
+	}
+	p := e.newShardProc(name, dom, sh)
+	ev := &event{at: e.now + d, fn: func() { p.start(fn) }, sx: &shardEv{sh: sh}}
+	e.inject(sh, ev)
+	p.startEv = ev
+	return p
+}
+
+// newShardProc builds a shard-owned process. Registration into the
+// shard's process set happens in start, in the shard's own context.
+func (e *Engine) newShardProc(name string, dom Domain, sh *shard) *Proc {
+	return &Proc{
+		engine: e,
+		name:   name,
+		dom:    dom,
+		sh:     sh,
+		//vhlint:allow lockfree -- hand-off core: per-process worker->process baton, unbuffered rendezvous
+		resume:  make(chan struct{}),
+		handoff: sh.handoff,
+		done:    NewDone(e),
+	}
+}
+
+// Domain returns the ownership domain this process was spawned on.
+func (p *Proc) Domain() Domain { return p.dom }
+
+// Tracef emits a trace line attributed to this process's context. In a
+// window it is buffered (formatted eagerly) and emitted in sequential
+// (time, seq) order at the barrier, so sharded traces are byte-identical
+// to sequential ones.
+func (p *Proc) Tracef(format string, args ...any) {
+	e := p.engine
+	if e.tracef == nil {
+		return
+	}
+	if sh := p.sh; sh != nil && sh.inWindow {
+		sh.curEv.sx.traces = append(sh.curEv.sx.traces, bufTrace{at: sh.now, msg: fmt.Sprintf(format, args...)})
+		return
+	}
+	e.Tracef(format, args...)
+}
+
+// Send schedules fn to run in dom's context d seconds from now. Sending
+// to the process's own domain is a local timer with any non-negative
+// delay. Cross-domain sends from a shard-owned process must respect the
+// engine lookahead; sends from Shared context reach any domain with any
+// delay (shards never run ahead of executing Shared code).
+func (p *Proc) Send(dom Domain, d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e := p.engine
+	target := e.shardOf(dom)
+	if sh := p.sh; sh != nil && sh.inWindow {
+		t := sh.now + d
+		if dom != p.dom {
+			sh.checkLookahead(t, "send")
+		}
+		if target == nil {
+			// Shard -> Shared: stage for the coordinator's heap.
+			ev := &event{at: t, seq: sh.nextProv(), fn: fn, sx: &shardEv{sh: nil, prov: true}}
+			sh.record(ev)
+			sh.outbox = append(sh.outbox, ev)
+			return
+		}
+		sh.scheduleFn(target, t, fn)
+		return
+	}
+	// Shared (or sequential) context.
+	if target == nil {
+		e.After(d, fn)
+		return
+	}
+	ev := &event{at: e.now + d, fn: fn, sx: &shardEv{sh: target}}
+	e.inject(target, ev)
+}
+
+// SpawnOnAfter creates a process owned by dom from process context,
+// starting d seconds from now. Cross-domain spawns from a shard-owned
+// process must respect the engine lookahead, like Send.
+func (p *Proc) SpawnOnAfter(dom Domain, d Time, name string, fn func(q *Proc)) *Proc {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e := p.engine
+	target := e.shardOf(dom)
+	if sh := p.sh; sh != nil && sh.inWindow {
+		t := sh.now + d
+		if dom != p.dom {
+			sh.checkLookahead(t, "spawn")
+		}
+		var q *Proc
+		if target == nil {
+			panic("sim: shard-owned process cannot spawn a Shared process; Shared procs belong to the coordinator")
+		}
+		q = e.newShardProc(name, dom, target)
+		q.startEv = sh.scheduleFn(target, t, func() { q.start(fn) })
+		return q
+	}
+	return e.SpawnOnAfter(dom, d, name, fn)
+}

@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The synthetic multi-domain workload used by the sharded/sequential
+// differential tests. It exercises every cross-domain mechanism: same- and
+// cross-domain sleeps, Proc.Send fan-out, cross-domain spawns, shard->Shared
+// sends, and a Shared ticker that both serialises windows and reads domain
+// state at barrier-consistent points.
+
+const testLookahead = 0.25
+
+type shardWork struct {
+	trace      strings.Builder
+	counters   []int64
+	sharedDone int
+	end        Time
+}
+
+func (w *shardWork) traceSink(at Time, format string, args ...any) {
+	fmt.Fprintf(&w.trace, "%012.6f | ", at)
+	fmt.Fprintf(&w.trace, format, args...)
+	w.trace.WriteByte('\n')
+}
+
+// runShardWork builds and drains the workload on an engine with the given
+// shard count. All parameters other than shards shape the event pattern, so
+// runs that differ only in shards must produce identical results.
+func runShardWork(shards, ndom, procsPer, steps int, ticker bool) *shardWork {
+	w := &shardWork{counters: make([]int64, ndom)}
+	e := New(7, WithShards(shards), WithLookahead(testLookahead))
+	e.SetTrace(w.traceSink)
+	for d := 0; d < ndom; d++ {
+		for q := 0; q < procsPer; q++ {
+			d, q := d, q
+			e.SpawnOn(Domain(d+1), fmt.Sprintf("w%d.%d", d, q), func(p *Proc) {
+				rng := uint64(d*131 + q*17 + 1)
+				for s := 0; s < steps; s++ {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					w.counters[d]++
+					p.Tracef("dom %d proc %d step %d t=%.6f c=%d", d, q, s, p.Now(), w.counters[d])
+					if s%4 == 3 && ndom > 1 {
+						if td := (d + q + s) % ndom; td != d {
+							extra := float64(rng%512) / 1024 // [0, 0.5)
+							p.Send(Domain(td+1), testLookahead+extra, func() {
+								w.counters[td] += 100
+							})
+						}
+					}
+					if s%7 == 5 && ndom > 1 {
+						td := (d + s) % ndom
+						delay := Time(0.125)
+						if td != d {
+							delay = testLookahead + 0.125
+						}
+						name := fmt.Sprintf("x%d.%d.%d", d, q, s)
+						p.SpawnOnAfter(Domain(td+1), delay, name, func(c *Proc) {
+							w.counters[td] += 1000
+							c.Tracef("spawned %s in dom %d t=%.6f", name, td, c.Now())
+							c.Sleep(0.5)
+							w.counters[td]++
+						})
+					}
+					p.Sleep(0.5 + float64(rng%1000)/1000)
+				}
+				p.Tracef("dom %d proc %d finished t=%.6f", d, q, p.Now())
+				// Fan-in to the Shared domain: the sanctioned way for a
+				// shard proc to report completion to coordinator state.
+				p.Send(Shared, testLookahead+0.5, func() { w.sharedDone++ })
+			})
+		}
+	}
+	if ticker {
+		e.Spawn("ticker", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Sleep(2.0)
+				var sum int64
+				for _, c := range w.counters {
+					sum += c
+				}
+				p.Tracef("tick %d t=%.6f sum=%d done=%d", i, p.Now(), sum, w.sharedDone)
+			}
+		})
+	}
+	w.end = e.Run()
+	e.Shutdown()
+	return w
+}
+
+func diffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  seq: %s\n  shd: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length: %d vs %d lines", len(al), len(bl))
+}
+
+func requireSameWork(t *testing.T, want, got *shardWork, label string) {
+	t.Helper()
+	if want.end != got.end {
+		t.Errorf("%s: end time %v, sequential %v", label, got.end, want.end)
+	}
+	if fmt.Sprint(want.counters) != fmt.Sprint(got.counters) {
+		t.Errorf("%s: counters %v, sequential %v", label, got.counters, want.counters)
+	}
+	if want.sharedDone != got.sharedDone {
+		t.Errorf("%s: sharedDone %d, sequential %d", label, got.sharedDone, want.sharedDone)
+	}
+	if want.trace.String() != got.trace.String() {
+		t.Errorf("%s: trace diverges at %s", label, diffLine(want.trace.String(), got.trace.String()))
+	}
+}
+
+// TestShardedMatchesSequential is the sim-level differential suite: the same
+// workload must produce byte-identical traces and state at every shard count.
+func TestShardedMatchesSequential(t *testing.T) {
+	shapes := []struct {
+		ndom, procs, steps int
+		ticker             bool
+	}{
+		{1, 2, 8, false},  // single domain: pure window execution
+		{3, 2, 10, true},  // ticker forces shared/window interleaving
+		{8, 3, 12, true},  // more domains than shards at every n
+		{5, 1, 20, false}, // no shared events after setup
+	}
+	for _, sh := range shapes {
+		sh := sh
+		name := fmt.Sprintf("dom%d_procs%d_steps%d_ticker%v", sh.ndom, sh.procs, sh.steps, sh.ticker)
+		t.Run(name, func(t *testing.T) {
+			want := runShardWork(1, sh.ndom, sh.procs, sh.steps, sh.ticker)
+			if want.trace.Len() == 0 {
+				t.Fatal("sequential run produced no trace")
+			}
+			for _, n := range []int{2, 4, 8} {
+				got := runShardWork(n, sh.ndom, sh.procs, sh.steps, sh.ticker)
+				requireSameWork(t, want, got, fmt.Sprintf("shards=%d", n))
+			}
+		})
+	}
+}
+
+// TestShardRunUntilSplit checks that chopping a sharded run into RunUntil
+// segments neither changes the result nor differs from sequential.
+func TestShardRunUntilSplit(t *testing.T) {
+	run := func(shards int, cuts []Time) *shardWork {
+		w := &shardWork{counters: make([]int64, 4)}
+		e := New(7, WithShards(shards), WithLookahead(testLookahead))
+		e.SetTrace(w.traceSink)
+		for d := 0; d < 4; d++ {
+			d := d
+			e.SpawnOn(Domain(d+1), fmt.Sprintf("w%d", d), func(p *Proc) {
+				for s := 0; s < 10; s++ {
+					w.counters[d]++
+					p.Tracef("dom %d step %d t=%.6f", d, s, p.Now())
+					if td := (d + 1) % 4; s%3 == 2 {
+						p.Send(Domain(td+1), testLookahead+0.1, func() { w.counters[td] += 10 })
+					}
+					p.Sleep(0.7 + float64(d)*0.03)
+				}
+			})
+		}
+		for _, c := range cuts {
+			e.RunUntil(c)
+		}
+		w.end = e.Run()
+		e.Shutdown()
+		return w
+	}
+	want := run(1, nil)
+	for _, n := range []int{1, 2, 4} {
+		got := run(n, []Time{1.5, 3.0, 4.25})
+		requireSameWork(t, want, got, fmt.Sprintf("shards=%d split", n))
+	}
+}
+
+// TestShardStress hammers the barrier hand-off with many small windows and
+// heavy cross-domain spawning; run with -count=20 (CI) and -race it is the
+// scheduler's race-coverage workhorse.
+func TestShardStress(t *testing.T) {
+	want := runShardWork(1, 6, 3, 12, true)
+	for _, n := range []int{2, 4, 8} {
+		got := runShardWork(n, 6, 3, 12, true)
+		requireSameWork(t, want, got, fmt.Sprintf("stress shards=%d", n))
+	}
+}
+
+// TestWithShardsOneIsSequential pins the contract that WithShards(1) is the
+// plain engine: no workers are ever built and the trace matches a default New.
+func TestWithShardsOneIsSequential(t *testing.T) {
+	runOne := func(e *Engine) string {
+		var tr strings.Builder
+		e.SetTrace(func(at Time, f string, a ...any) {
+			fmt.Fprintf(&tr, "%.6f ", at)
+			fmt.Fprintf(&tr, f, a...)
+			tr.WriteByte('\n')
+		})
+		e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Tracef("a %d", i)
+				p.Sleep(1)
+			}
+		})
+		e.Run()
+		return tr.String()
+	}
+	plain := New(3)
+	one := New(3, WithShards(1))
+	if got, want := runOne(one), runOne(plain); got != want {
+		t.Errorf("WithShards(1) trace differs from default engine:\n%s", diffLine(want, got))
+	}
+	if one.shards != nil {
+		t.Error("WithShards(1) built shard workers")
+	}
+	if one.Shards() != 1 {
+		t.Errorf("Shards() = %d, want 1", one.Shards())
+	}
+}
+
+// TestShardShutdownDrainsInboxes is the regression test for the
+// shutdown-during-barrier fix: after a window aborts mid-flight (so staged
+// cross-shard events are still sitting in outboxes), Shutdown must drain
+// them into target heaps and unwind every process instead of leaking the
+// events onto a dead shard.
+func TestShardShutdownDrainsInboxes(t *testing.T) {
+	e := New(1, WithShards(4), WithLookahead(testLookahead))
+	hits := 0
+	e.SpawnOn(1, "sender", func(p *Proc) {
+		// Staged into the outbox, then the same window dies below.
+		p.Send(2, testLookahead+1, func() { hits++ })
+		p.Sleep(0.01)
+		panic("boom in window")
+	})
+	e.SpawnOn(2, "peer", func(p *Proc) {
+		for {
+			p.Sleep(0.5)
+		}
+	})
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected the window panic to surface from Run")
+			}
+			if !strings.Contains(fmt.Sprint(r), "boom in window") {
+				t.Fatalf("unexpected panic: %v", r)
+			}
+		}()
+		e.Run()
+	}()
+	e.Shutdown()
+	if e.LiveProcs() != 0 {
+		t.Errorf("LiveProcs = %d after Shutdown, want 0", e.LiveProcs())
+	}
+	if e.shards != nil {
+		t.Error("shards not torn down by Shutdown")
+	}
+	if hits != 0 {
+		t.Errorf("staged cross-shard event fired during teardown: hits=%d", hits)
+	}
+}
+
+// TestShardShutdownMidFlight shuts a sharded engine down at a deadline with
+// cross-shard events still queued; teardown must kill procs in start order
+// without touching a dead shard.
+func TestShardShutdownMidFlight(t *testing.T) {
+	w := &shardWork{counters: make([]int64, 6)}
+	e := New(7, WithShards(4), WithLookahead(testLookahead))
+	e.SetTrace(w.traceSink)
+	for d := 0; d < 6; d++ {
+		d := d
+		e.SpawnOn(Domain(d+1), fmt.Sprintf("w%d", d), func(p *Proc) {
+			for {
+				w.counters[d]++
+				td := (d + 1) % 6
+				p.Send(Domain(td+1), testLookahead+0.2, func() { w.counters[td]++ })
+				p.Sleep(0.9)
+			}
+		})
+	}
+	e.RunUntil(5.0)
+	e.Shutdown()
+	if e.LiveProcs() != 0 {
+		t.Errorf("LiveProcs = %d after Shutdown, want 0", e.LiveProcs())
+	}
+	// The engine is reusable after Shutdown.
+	ran := false
+	e.Spawn("after", func(p *Proc) { ran = true })
+	e.Run()
+	e.Shutdown()
+	if !ran {
+		t.Error("engine did not run again after sharded Shutdown")
+	}
+}
+
+// TestShardLookaheadViolation pins that an under-delayed cross-domain send
+// fails deterministically: the same panic text, run after run.
+func TestShardLookaheadViolation(t *testing.T) {
+	run := func() (msg string) {
+		e := New(1, WithShards(2), WithLookahead(0.5))
+		e.SpawnOn(1, "v", func(p *Proc) {
+			p.Sleep(1)
+			p.Send(2, 0.01, func() {}) // far below lookahead
+		})
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+			e.Shutdown()
+		}()
+		e.Run()
+		return "no panic"
+	}
+	first := run()
+	if !strings.Contains(first, "cross-domain") || !strings.Contains(first, "lookahead") {
+		t.Fatalf("unexpected violation report: %q", first)
+	}
+	if second := run(); second != first {
+		t.Errorf("violation not deterministic:\n first: %s\nsecond: %s", first, second)
+	}
+}
+
+// TestShardSharedGuards verifies the ownership guards: Shared-domain
+// primitives and engine surfaces reject use from shard context.
+func TestShardSharedGuards(t *testing.T) {
+	mustPanic := func(name string, body func(p *Proc)) {
+		t.Helper()
+		e := New(1, WithShards(2), WithLookahead(testLookahead))
+		e.SpawnOn(1, name, body)
+		defer e.Shutdown()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Errorf("%s: expected a guard panic", name)
+			}
+		}()
+		e.Run()
+	}
+	mustPanic("engine-at", func(p *Proc) { p.Engine().At(99, func() {}) })
+	mustPanic("engine-rand", func(p *Proc) { _ = p.Engine().Rand().Int63() })
+	d := func(p *Proc) *Done { return NewDone(p.Engine()) }
+	mustPanic("done-wait", func(p *Proc) { d(p).Wait(p) })
+	mustPanic("queue-acquire", func(p *Proc) { NewQueue(p.Engine(), 2).Acquire(p, 1) })
+	mustPanic("gate-wait", func(p *Proc) { NewGate(p.Engine(), false).WaitOpen(p) })
+}
+
+// TestShardDomainAffinity pins the modulo grouping rule: a domain's events
+// always land on the same worker for a given shard count.
+func TestShardDomainAffinity(t *testing.T) {
+	e := New(1, WithShards(3))
+	if got := e.shardOf(1); got != e.shardOf(4) || got.id != 1 {
+		t.Errorf("domain 1 and 4 should share shard 1, got %v/%v", e.shardOf(1).id, e.shardOf(4).id)
+	}
+	if e.shardOf(Shared) != nil {
+		t.Error("Shared must map to the coordinator")
+	}
+	if e.shardOf(3).id != 3 {
+		t.Errorf("domain 3 on shard %d, want 3", e.shardOf(3).id)
+	}
+	e.Shutdown()
+}

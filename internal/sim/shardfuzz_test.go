@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzShardSchedule decodes arbitrary bytes into a bounded multi-domain
+// event timeline and checks the sharded engine's core contract: for any
+// timeline, execution at every shard count replays byte-identically to the
+// sequential engine — same trace, same per-domain state, same end time.
+func FuzzShardSchedule(f *testing.F) {
+	f.Add([]byte{0x03})
+	f.Add([]byte("\x07spawn-heavy schedule with several domains"))
+	f.Add([]byte("\x02\x80\x81\x82\x83\x84\x85\x86\x87"))
+	f.Add([]byte("interleaved sends 123456789 abcdefgh"))
+	f.Add([]byte{0x06, 0xff, 0x00, 0xff, 0x00, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		want := runFuzzTimeline(data, 1)
+		for _, n := range []int{2, 3, 4} {
+			got := runFuzzTimeline(data, n)
+			if got != want {
+				t.Fatalf("shards=%d diverges from sequential:\n%s", n, diffLine(want, got))
+			}
+		}
+	})
+}
+
+// runFuzzTimeline is a pure function of (data, shards): it builds the
+// decoded workload, drains it, and returns a digest of everything the
+// engine produced.
+func runFuzzTimeline(data []byte, shards int) string {
+	const fuzzLookahead = 0.2
+	byteAt := func(i int) byte { return data[i%len(data)] }
+	ndom := 1 + int(data[0]&3)
+	procs := 1 + int((data[0]>>2)&1)
+	e := New(11, WithShards(shards), WithLookahead(fuzzLookahead))
+	var trace strings.Builder
+	e.SetTrace(func(at Time, format string, args ...any) {
+		fmt.Fprintf(&trace, "%012.6f | ", at)
+		fmt.Fprintf(&trace, format, args...)
+		trace.WriteByte('\n')
+	})
+	counters := make([]int64, ndom)
+	for d := 0; d < ndom; d++ {
+		for q := 0; q < procs; q++ {
+			d, q := d, q
+			e.SpawnOn(Domain(d+1), fmt.Sprintf("p%d.%d", d, q), func(p *Proc) {
+				idx := d*31 + q*7
+				steps := 4 + int(byteAt(idx))%20
+				for s := 0; s < steps; s++ {
+					b := byteAt(idx + s + 1)
+					counters[d]++
+					switch b % 4 {
+					case 0:
+						p.Sleep(0.05 + float64(b)/512)
+					case 1:
+						p.Tracef("p%d.%d s%d t=%.6f c=%d", d, q, s, p.Now(), counters[d])
+						p.Sleep(0.3)
+					case 2:
+						td := int(b/4) % ndom
+						p.Send(Domain(td+1), fuzzLookahead+float64(b%64)/256, func() {
+							counters[td] += 7
+						})
+						p.Sleep(0.1)
+					case 3:
+						td := (d + int(b/8)) % ndom
+						p.SpawnOnAfter(Domain(td+1), fuzzLookahead+0.05, fmt.Sprintf("c%d.%d.%d", d, q, s), func(c *Proc) {
+							counters[td] += 3
+							c.Tracef("c%d.%d.%d t=%.6f", d, q, s, c.Now())
+						})
+						p.Sleep(0.2)
+					}
+				}
+				p.Send(Shared, fuzzLookahead+0.1, func() { counters[d] += 1000 })
+			})
+		}
+	}
+	e.Spawn("tick", func(p *Proc) {
+		for i := 0; i < 6; i++ {
+			p.Sleep(1.1)
+			var sum int64
+			for _, c := range counters {
+				sum += c
+			}
+			p.Tracef("tick %d sum=%d", i, sum)
+		}
+	})
+	end := e.Run()
+	e.Shutdown()
+	return fmt.Sprintf("end=%v counters=%v\n%s", end, counters, trace.String())
+}

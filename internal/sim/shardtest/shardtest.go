@@ -1,0 +1,103 @@
+// Package shardtest is the differential determinism harness for the sharded
+// simulation core: it compares the complete artifact set of a sequential run
+// (trace, observability snapshot, job output, end time) against a sharded
+// run of the same workload and reports the first divergence precisely.
+//
+// The contract under test is absolute: sharded execution must be
+// byte-identical to sequential, so every comparison here is exact string
+// equality — there are no tolerances.
+package shardtest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TB is the subset of testing.TB the harness needs. Taking an interface
+// keeps the package importable outside test binaries (experiment drivers
+// can run differential checks too) and keeps it free of the testing
+// package's concurrency machinery.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Digest is one labelled artifact of a run: its name ("trace", "output",
+// "metrics", ...) and its exact bytes.
+type Digest struct {
+	Name string
+	Data string
+}
+
+// Fingerprint returns a short stable FNV-1a fingerprint of s, for log
+// lines where quoting the whole artifact would be noise.
+func Fingerprint(s string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// FirstDiff locates the first line where a and b differ. ok is false when
+// the strings are identical.
+func FirstDiff(a, b string) (line int, aLine, bLine string, ok bool) {
+	if a == b {
+		return 0, "", "", false
+	}
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return i + 1, al[i], bl[i], true
+		}
+	}
+	// One is a prefix of the other; report the first extra line.
+	if len(al) < len(bl) {
+		return len(al) + 1, "<end of sequential artifact>", bl[len(al)], true
+	}
+	return len(bl) + 1, al[len(bl)], "<end of sharded artifact>", true
+}
+
+// RequireIdentical asserts that every sharded artifact matches its
+// sequential counterpart byte for byte. Artifacts are matched by Name; a
+// name present on one side only is itself a failure.
+func RequireIdentical(t TB, label string, sequential, sharded []Digest) {
+	t.Helper()
+	shd := make(map[string]string, len(sharded))
+	for _, d := range sharded {
+		shd[d.Name] = d.Data
+	}
+	seen := make(map[string]bool, len(sequential))
+	for _, want := range sequential {
+		seen[want.Name] = true
+		got, found := shd[want.Name]
+		if !found {
+			t.Errorf("%s: artifact %q missing from the sharded run", label, want.Name)
+			continue
+		}
+		if line, sl, gl, diff := FirstDiff(want.Data, got); diff {
+			t.Errorf("%s: artifact %q diverges at line %d\n  sequential: %s\n  sharded:    %s\n  (fingerprints %s vs %s, %d vs %d bytes)",
+				label, want.Name, line, clip(sl), clip(gl),
+				Fingerprint(want.Data), Fingerprint(got), len(want.Data), len(got))
+		}
+	}
+	for _, d := range sharded {
+		if !seen[d.Name] {
+			t.Errorf("%s: artifact %q present only in the sharded run", label, d.Name)
+		}
+	}
+}
+
+// clip bounds one reported line so a failure message stays readable.
+func clip(s string) string {
+	const max = 220
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "…"
+}

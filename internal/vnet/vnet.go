@@ -145,6 +145,20 @@ func (f *Fabric) NewLink(name string, bandwidth float64, latency sim.Time) *Link
 // Links returns all links in the fabric.
 func (f *Fabric) Links() []*Link { return f.links }
 
+// MinLatency returns the smallest positive one-way link latency in the
+// fabric, or 0 if no link has one. It is the natural conservative lookahead
+// for sharded simulation: no cross-machine interaction can land sooner than
+// one traversal of the fastest link.
+func (f *Fabric) MinLatency() sim.Time {
+	var min sim.Time
+	for _, l := range f.links {
+		if l.latency > 0 && (min == 0 || l.latency < min) {
+			min = l.latency
+		}
+	}
+	return min
+}
+
 // ActiveFlows returns the number of flows currently in flight.
 func (f *Fabric) ActiveFlows() int { return len(f.flows) }
 

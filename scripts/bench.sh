@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the data-plane acceptance benchmarks and record the results
-# as JSON (default BENCH_PR6.json in the repo root).
+# as JSON (default BENCH_PR8.json in the repo root).
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR6.json}
+OUT=${1:-BENCH_PR8.json}
 COUNT=${COUNT:-5}
 BENCHTIME=${BENCHTIME:-200x}
 
@@ -34,6 +34,7 @@ run() { # run <package> <bench regex>
 
 echo "running macro benchmarks (engine throughput, Fig6 canopy, Fig4a terasort)..." >&2
 run . 'BenchmarkEngineThroughput$'
+run . 'BenchmarkEngineThroughputSharded'
 run . 'BenchmarkFig6Clustering/canopy-16nodes'
 run . 'BenchmarkFig4aTeraSort'
 
@@ -61,9 +62,10 @@ awk '
       print name, best[name], (name in vsec ? vsec[name] : "-")
   }
 ' "$TMP" | sort | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-                     -v benchtime="$BENCHTIME" -v count="$COUNT" '
+                     -v benchtime="$BENCHTIME" -v count="$COUNT" \
+                     -v cores="$(nproc 2>/dev/null || echo 1)" '
   BEGIN {
-    printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"count\": %d,\n  \"stat\": \"min ns/op\",\n  \"results\": {\n", date, benchtime, count
+    printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"count\": %d,\n  \"cores\": %d,\n  \"stat\": \"min ns/op\",\n  \"results\": {\n", date, benchtime, count, cores
     sep = ""
   }
   {

@@ -1,0 +1,91 @@
+package vhadoop_test
+
+// Differential determinism suite for the sharded simulation core: every
+// workload × platform-seed × fault-schedule case runs once on the
+// sequential engine and once per shard width, and every artifact the
+// platform produces — job output, event trace, observability snapshot,
+// span trace, end time, even the error — must be byte-identical. This is
+// the contract that makes sim.WithShards safe to enable anywhere: shard
+// count is an execution detail, never an observable one.
+
+import (
+	"fmt"
+	"testing"
+
+	"vhadoop/internal/faults"
+	"vhadoop/internal/faults/chaostest"
+	"vhadoop/internal/sim/shardtest"
+)
+
+// shardWidths are the sharded configurations checked against sequential.
+var shardWidths = []int{2, 4, 8}
+
+// shardArtifacts flattens one chaos run into the comparable artifact set.
+func shardArtifacts(r chaostest.Result, err error) []shardtest.Digest {
+	errs := ""
+	if err != nil {
+		errs = err.Error()
+	}
+	return []shardtest.Digest{
+		{Name: "error", Data: errs},
+		{Name: "output", Data: r.Output},
+		{Name: "end", Data: fmt.Sprintf("%v", r.End)},
+		{Name: "trace", Data: r.Trace},
+		{Name: "metrics", Data: r.Metrics},
+		{Name: "spans", Data: r.TraceJSON},
+	}
+}
+
+func TestShardedPlatformDifferential(t *testing.T) {
+	workloads := []chaostest.Workload{
+		chaostest.Wordcount(),
+		chaostest.TeraSort(),
+		chaostest.Canopy(),
+	}
+	platformSeeds := []int64{42, 7, 1234}
+	schedules := []struct {
+		name string
+		seed int64
+	}{
+		{"fault-free", 0},
+		{"chaos5", 5},
+		{"chaos9", 9},
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, pseed := range platformSeeds {
+				for _, sc := range schedules {
+					pseed, sc := pseed, sc
+					t.Run(fmt.Sprintf("seed%d/%s", pseed, sc.name), func(t *testing.T) {
+						var sched faults.Schedule
+						if sc.seed != 0 {
+							sched = chaostest.GenSchedule(sc.seed, 3, 30)
+							if len(sched.Faults) == 0 {
+								t.Fatal("empty fault schedule: this case tests nothing")
+							}
+						}
+						seqR, seqErr := chaostest.Run(w, pseed, sched)
+						if sc.seed == 0 && seqErr != nil {
+							t.Fatalf("fault-free sequential run failed: %v", seqErr)
+						}
+						// Fault-free platform runs keep the engine trace empty by
+						// design (component events live in spans/metrics); only a
+						// faulted schedule is guaranteed trace lines.
+						if sc.seed != 0 && seqR.Trace == "" {
+							t.Fatal("faulted sequential run produced no trace")
+						}
+						if seqR.Metrics == "" || seqR.TraceJSON == "" {
+							t.Fatal("sequential run produced no observability artifacts")
+						}
+						seq := shardArtifacts(seqR, seqErr)
+						for _, n := range shardWidths {
+							shR, shErr := chaostest.RunSharded(w, pseed, sched, n)
+							shardtest.RequireIdentical(t, fmt.Sprintf("shards=%d", n), seq, shardArtifacts(shR, shErr))
+						}
+					})
+				}
+			}
+		})
+	}
+}
