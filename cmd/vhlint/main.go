@@ -25,8 +25,12 @@
 // package-level state, and cross-domain writes with their waiver
 // status. CI regenerates it and diffs against the checked-in
 // SHARDLEDGER.json, so any change to the tree's sharding posture shows
-// up as a reviewable diff. The exit status is 1 if the ledger records
-// any unwaived cross-domain write.
+// up as a reviewable diff. The ledger also inventories every spawn
+// site with its inferred domain classification (the spawnsites
+// section). The exit status is 1 if the ledger records any unwaived
+// cross-domain write, or any confined spawn site still entering
+// through the Shared-implied Spawn/SpawnAfter APIs — the Shared-exit
+// migration invariant.
 package main
 
 import (
@@ -90,8 +94,16 @@ func main() {
 			fatal(err)
 		}
 		os.Stdout.Write(out)
+		bad := false
 		if n := led.UnwaivedCrossings(); n > 0 {
 			fmt.Fprintf(os.Stderr, "vhlint: %d unwaived cross-domain write(s)\n", n)
+			bad = true
+		}
+		if n := led.ConfinedOnSpawn(); n > 0 {
+			fmt.Fprintf(os.Stderr, "vhlint: %d confined spawn site(s) still on plain Spawn/SpawnAfter\n", n)
+			bad = true
+		}
+		if bad {
 			os.Exit(1)
 		}
 		return

@@ -104,13 +104,13 @@ func NewPlatform(opts Options) (*Platform, error) {
 	pl.crossDomain = plane.Gauge("cluster_cross_domain")
 	pl.clusterVMs = plane.Gauge("cluster_vms")
 	plane.Registry().OnCollect(pl.collectPlatform)
-	if opts.Shards > 1 {
-		// Conservative lookahead: no cross-machine event can take effect
-		// sooner than the fastest link propagates, so windows this wide are
-		// race-free by construction.
-		if min := fabric.MinLatency(); min > 0 {
-			e.SetLookahead(min)
-		}
+	// Conservative lookahead: no cross-machine event can take effect
+	// sooner than the fastest link propagates, so windows this wide are
+	// race-free by construction. Set unconditionally — at width 1 it is
+	// inert — so cross-domain Send/SpawnOnAfter delay checks behave the
+	// same whether or not the engine is sharded.
+	if min := fabric.MinLatency(); min > 0 {
+		e.SetLookahead(min)
 	}
 	return pl, nil
 }

@@ -76,6 +76,28 @@ func Canopy() Workload {
 	}}
 }
 
+// DFSIO is the TestDFSIO write-then-read HDFS stress phase pair: the
+// non-MapReduce workload of the chaos matrix, covering the hdfs and
+// workloads spawn sites the spawn-domain ledger tracks. Its canonical
+// output is the two phase throughputs.
+func DFSIO() Workload {
+	return Workload{Name: "dfsio", Run: func(p *sim.Proc, pl *core.Platform) ([]mapreduce.KV, error) {
+		opts := workloads.DFSIOOptions{Files: 6, FileBytes: 4e6}
+		wr, err := workloads.RunDFSIOWrite(p, pl, opts)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := workloads.RunDFSIORead(p, pl, opts)
+		if err != nil {
+			return nil, err
+		}
+		return []mapreduce.KV{
+			{Key: "write", Value: fmt.Sprintf("%.9g", wr.ThroughputMBps)},
+			{Key: "read", Value: fmt.Sprintf("%.9g", rd.ThroughputMBps)},
+		}, nil
+	}}
+}
+
 // Options is the chaos platform: 8 nodes split across both machines,
 // PM-aware triple replication so one whole machine can die, and the
 // namenode's replication monitor running so lost replicas get repaired

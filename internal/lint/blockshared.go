@@ -1,0 +1,56 @@
+package lint
+
+// BlockShared statically flags what today only a runtime panic
+// catches: a closure spawned on a non-Shared domain that can reach a
+// blocking wait on a Shared-only primitive (Done.Wait, Gate.WaitOpen,
+// Queue.Acquire, FairShare.Use/UseWeighted, WaitAll/WaitProcs). Under
+// sim.WithShards those waits park the process on the coordinator's
+// wait lists, which only Shared-window code may touch — the engine
+// panics the moment the shard process blocks. The static version
+// reports the wait at the spawn site, with the call chain that reaches
+// it, before anyone runs a sharded configuration.
+//
+// Scope is deliberately narrow: only SpawnOn/SpawnOnAfter sites whose
+// domain argument is not provably sim.Shared are checked. Plain
+// Spawn/SpawnAfter closures run on Shared where every wait is legal,
+// and flagging waits by annotation context instead of spawn context
+// would bury the platform in waivers (DESIGN.md §13).
+var BlockShared = &Analyzer{
+	Name:      "blockshared",
+	Doc:       "flag Shared-only blocking waits reachable from closures spawned on a non-Shared domain",
+	AppliesTo: spawnCritical,
+	Run:       runBlockShared,
+}
+
+func runBlockShared(pass *Pass) {
+	ip := pass.pkg.interproc()
+	if ip == nil {
+		return
+	}
+	g := ip.graphFor(pass.pkg)
+	for _, n := range g.bottomUp() {
+		ip.spawnSummaryFor(n.fn)
+	}
+	for _, n := range g.order {
+		if n.decl.Body == nil {
+			continue
+		}
+		for _, st := range spawnSitesIn(pass.pkg, n.decl.Body) {
+			if st.api != "SpawnOn" && st.api != "SpawnOnAfter" {
+				continue
+			}
+			if domIsShared(pass.pkg, st.domArg) {
+				continue
+			}
+			c := ip.classifySpawn(pass.pkg, st)
+			for _, b := range c.waits {
+				chain := ""
+				if b.via != "" {
+					chain = " via " + b.via
+				}
+				pass.Reportf(st.call.Pos(), "closure spawned on a non-Shared domain reaches %s%s: a shard process must not wait on Shared-only primitives (runtime panic under WithShards); convert the wait into a Shared fan-in p.Send, or annotate //vhlint:allow blockshared -- <reason>",
+					b.prim, chain)
+			}
+		}
+	}
+}

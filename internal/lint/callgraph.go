@@ -25,6 +25,9 @@ type interproc struct {
 	ownSummaries map[*types.Func]*ownSummary
 	ownBusy      map[*types.Func]bool
 
+	spawnSummaries map[*types.Func]*spawnSummary
+	spawnBusy      map[*types.Func]bool
+
 	// package-level vars interned into ownSummary.globals bits
 	globalIdx   map[types.Object]int
 	globalOrder []types.Object
@@ -47,7 +50,11 @@ func (p *Package) interproc() *interproc {
 			errBusy:      make(map[*types.Func]bool),
 			ownSummaries: make(map[*types.Func]*ownSummary),
 			ownBusy:      make(map[*types.Func]bool),
-			globalIdx:    make(map[types.Object]int),
+
+			spawnSummaries: make(map[*types.Func]*spawnSummary),
+			spawnBusy:      make(map[*types.Func]bool),
+
+			globalIdx: make(map[types.Object]int),
 		}
 	}
 	return p.loader.ip

@@ -22,13 +22,14 @@ import (
 // Ledger is the -owners output. All slices are sorted and all map keys
 // serialize sorted, so marshaling is deterministic.
 type Ledger struct {
-	Version   int                    `json:"version"`
-	Domains   []string               `json:"domains"`
-	Defaults  map[string]string      `json:"defaults"` // package (short path) → default domain
-	Owners    []LedgerOwner          `json:"owners"`
-	Globals   []LedgerGlobal         `json:"globals"`
-	Crossings []LedgerCrossing       `json:"crossings"`
-	Counts    map[string]LedgerCount `json:"counts"`
+	Version    int                    `json:"version"`
+	Domains    []string               `json:"domains"`
+	Defaults   map[string]string      `json:"defaults"` // package (short path) → default domain
+	Owners     []LedgerOwner          `json:"owners"`
+	Globals    []LedgerGlobal         `json:"globals"`
+	Crossings  []LedgerCrossing       `json:"crossings"`
+	Spawnsites []LedgerSpawnsite      `json:"spawnsites"`
+	Counts     map[string]LedgerCount `json:"counts"`
 }
 
 // LedgerOwner is one explicit domain assignment: a //vhlint:owner
@@ -57,6 +58,24 @@ type LedgerCrossing struct {
 	Sites        int    `json:"sites"`
 	Waived       int    `json:"waived"` // sites carrying a //vhlint:allow xdomain
 	Reason       string `json:"reason,omitempty"`
+}
+
+// LedgerSpawnsite is one scheduling chokepoint — all sites in a
+// function that spawn the same-named process through the same API —
+// with the spawndomain classification of the closure it schedules.
+// It is the work-list of the Shared-exit migration: every confined
+// entry still on Spawn/SpawnAfter is a licensed SpawnOn move, and
+// every shared-required entry documents (via writes/blockers) exactly
+// what keeps the process on the coordinator.
+type LedgerSpawnsite struct {
+	Func     string   `json:"func"`
+	Proc     string   `json:"proc,omitempty"` // spawned process name; "" for At/After events
+	API      string   `json:"api"`
+	Class    string   `json:"class"`            // confined | mixed | shared-required
+	Domain   string   `json:"domain,omitempty"` // confined target domain; "" = any
+	Writes   []string `json:"writes,omitempty"` // domains the closure transitively writes
+	Blockers []string `json:"blockers,omitempty"`
+	Sites    int      `json:"sites"`
 }
 
 // LedgerCount is one analyzer's finding tally over the tree.
@@ -98,6 +117,8 @@ func BuildLedger(loader *Loader, dirs []string) (*Ledger, error) {
 	type gkey struct{ key, domain string }
 	globals := make(map[gkey]map[string]bool) // → direct writer set
 	crossings := make(map[LedgerCrossing]*LedgerCrossing)
+	type skey struct{ fn, proc, api string }
+	spawns := make(map[skey]*LedgerSpawnsite)
 
 	for _, pkg := range pkgs {
 		if !determinismCritical(pkg.Path) {
@@ -156,11 +177,33 @@ func BuildLedger(loader *Loader, dirs []string) (*Ledger, error) {
 				globals[k][writer] = true
 			}
 			w.run()
+
+			// Spawn-site inventory (the engine's own scheduling calls are
+			// mechanism, not migration targets).
+			if pkg.Path == simPkgPath {
+				continue
+			}
+			for _, st := range spawnSitesIn(pkg, n.decl.Body) {
+				c := ip.classifySpawn(pkg, st)
+				k := skey{writer, procNameOf(pkg, st.nameArg), st.api}
+				e := spawns[k]
+				if e == nil {
+					e = &LedgerSpawnsite{Func: k.fn, Proc: k.proc, API: k.api, Class: c.class, Domain: c.domain}
+					spawns[k] = e
+				}
+				e.Sites++
+				e.Class = worseSpawnClass(e.Class, c.class)
+				if e.Domain != c.domain {
+					e.Domain = ""
+				}
+				e.Writes = mergeSorted(e.Writes, c.writes)
+				e.Blockers = mergeSorted(e.Blockers, c.blockers)
+			}
 		}
 
 		// Finding counts, with allow suppression applied the same way the
 		// analyzers themselves apply it.
-		for _, a := range []*Analyzer{GlobalState, XDomain} {
+		for _, a := range []*Analyzer{GlobalState, XDomain, SpawnDomain, BlockShared, SendLag} {
 			count := led.Counts[a.Name]
 			for _, diag := range runAnalyzer(pkg, a) {
 				if diag.Suppressed {
@@ -208,7 +251,63 @@ func BuildLedger(loader *Loader, dirs []string) (*Ledger, error) {
 		}
 		return a.Target < b.Target
 	})
+	skeys := make([]skey, 0, len(spawns))
+	for k := range spawns {
+		skeys = append(skeys, k)
+	}
+	sort.Slice(skeys, func(i, j int) bool {
+		a, b := skeys[i], skeys[j]
+		if a.fn != b.fn {
+			return a.fn < b.fn
+		}
+		if a.proc != b.proc {
+			return a.proc < b.proc
+		}
+		return a.api < b.api
+	})
+	for _, k := range skeys {
+		s := spawns[k]
+		if s.Class != classConfined {
+			s.Domain = "" // a merged-to-worse chokepoint has no single target
+		}
+		led.Spawnsites = append(led.Spawnsites, *s)
+	}
 	return led, nil
+}
+
+// worseSpawnClass merges two site classes conservatively:
+// shared-required > mixed > confined.
+func worseSpawnClass(a, b string) string {
+	rank := func(c string) int {
+		switch c {
+		case classSharedRequired:
+			return 2
+		case classMixed:
+			return 1
+		}
+		return 0
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}
+
+// mergeSorted unions two sorted string slices, deduplicated.
+func mergeSorted(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[string]bool, len(a)+len(b))
+	out := make([]string, 0, len(a)+len(b))
+	for _, s := range append(append([]string{}, a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Encode renders the ledger as indented JSON with a trailing newline —
@@ -230,6 +329,20 @@ func (l *Ledger) UnwaivedCrossings() int {
 	n := 0
 	for _, c := range l.Crossings {
 		n += c.Sites - c.Waived
+	}
+	return n
+}
+
+// ConfinedOnSpawn counts spawn sites the inference proves migratable
+// (confined) that still enter through the Shared-implied
+// Spawn/SpawnAfter APIs — the number the Shared-exit migration drives
+// to, and CI holds at, zero.
+func (l *Ledger) ConfinedOnSpawn() int {
+	n := 0
+	for _, s := range l.Spawnsites {
+		if s.Class == classConfined && (s.API == "Spawn" || s.API == "SpawnAfter") {
+			n += s.Sites
+		}
 	}
 	return n
 }

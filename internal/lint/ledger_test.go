@@ -90,12 +90,23 @@ func TestLedgerShardsafe(t *testing.T) {
 			t.Errorf("waived crossing %s -> %s has no reason", c.Writer, c.Target)
 		}
 	}
-	for _, name := range []string{"globalstate", "xdomain"} {
+	for _, name := range []string{"globalstate", "xdomain", "spawndomain", "blockshared", "sendlag"} {
 		if _, ok := led.Counts[name]; !ok {
 			t.Errorf("ledger counts missing analyzer %s", name)
 		}
 		if led.Counts[name].Active != 0 {
 			t.Errorf("ledger records %d active %s finding(s); tree must be clean", led.Counts[name].Active, name)
+		}
+	}
+	if len(led.Spawnsites) == 0 {
+		t.Error("ledger has no spawnsites: the platform certainly spawns processes")
+	}
+	if n := led.ConfinedOnSpawn(); n != 0 {
+		t.Errorf("ledger records %d confined spawn site(s) still on plain Spawn/SpawnAfter; migrate them to SpawnOn", n)
+	}
+	for _, s := range led.Spawnsites {
+		if s.Class == "shared-required" && len(s.Writes) == 0 && len(s.Blockers) == 0 {
+			t.Errorf("shared-required spawn site %s/%s documents neither writes nor blockers", s.Func, s.Proc)
 		}
 	}
 }

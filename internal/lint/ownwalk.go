@@ -44,34 +44,14 @@ type ownWalker struct {
 }
 
 func newOwnWalker(pkg *Package, ip *interproc, fd *ast.FuncDecl) *ownWalker {
-	w := &ownWalker{
+	return &ownWalker{
 		pkg:      pkg,
 		ip:       ip,
 		decl:     fd,
 		ctx:      ip.ctxDomain(pkg, fd),
 		summary:  &ownSummary{},
-		paramIdx: make(map[types.Object]int),
+		paramIdx: paramIndex(pkg, fd.Recv, fd.Type.Params),
 	}
-	i := 0
-	collect := func(fl *ast.FieldList) {
-		if fl == nil {
-			return
-		}
-		for _, field := range fl.List {
-			for _, name := range field.Names {
-				if obj := pkg.Info.Defs[name]; obj != nil {
-					w.paramIdx[obj] = i
-				}
-				i++
-			}
-			if len(field.Names) == 0 {
-				i++
-			}
-		}
-	}
-	collect(fd.Recv)
-	collect(fd.Type.Params)
-	return w
 }
 
 // run interprets the body once. Freshness is computed first so the walk

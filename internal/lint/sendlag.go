@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// SendLag flags cross-domain scheduling calls whose constant delay is
+// provably below the engine's lookahead floor. Proc.Send and
+// Proc.SpawnOnAfter are the only shard-legal ways to schedule work on
+// another domain, and both are runtime-checked against the engine
+// lookahead: a delay under it would land inside the current
+// conservative window and break the shard ordering proof, so the
+// engine panics. A delay that is a compile-time constant below
+// sim.DefaultLookahead can never pass that check on a default-
+// configured engine, so the panic is provable statically.
+//
+// Provability stops at constants: the platform lowers the runtime
+// lookahead to fabric.MinLatency(), a value the linter cannot see, so
+// non-constant delays (and constants at or above the floor, which
+// depend on the configured lookahead) are runtime territory
+// (DESIGN.md §13). A send whose domain argument is the sender's own
+// <proc>.Domain() is exempt: same-domain scheduling has no lookahead
+// bound.
+var SendLag = &Analyzer{
+	Name:      "sendlag",
+	Doc:       "flag Proc.Send/Proc.SpawnOnAfter calls whose constant delay is provably below the engine lookahead floor",
+	AppliesTo: spawnCritical,
+	Run:       runSendLag,
+}
+
+// SendLagFloor mirrors sim.DefaultLookahead — the tightest lookahead
+// any engine runs with, and therefore the only statically sound bound.
+// TestSendLagFloorMatchesSim pins the two constants together.
+const SendLagFloor = 1e-6
+
+func runSendLag(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != simPkgPath || recvNameOf(fn) != "Proc" {
+				return true
+			}
+			var domArg, delayArg ast.Expr
+			switch fn.Name() {
+			case "Send": // Send(dom, d, fn)
+				if len(call.Args) != 3 {
+					return true
+				}
+				domArg, delayArg = call.Args[0], call.Args[1]
+			case "SpawnOnAfter": // SpawnOnAfter(dom, d, name, fn)
+				if len(call.Args) != 4 {
+					return true
+				}
+				domArg, delayArg = call.Args[0], call.Args[1]
+			default:
+				return true
+			}
+			d, ok := constantFloat(pass, delayArg)
+			if !ok || d >= SendLagFloor {
+				return true
+			}
+			if selfDomainSend(pass, call, domArg) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "constant delay %g is below the engine's lookahead floor %g (sim.DefaultLookahead): a cross-domain %s this tight lands inside the conservative window and panics at runtime; delay at least the platform lookahead, or annotate //vhlint:allow sendlag -- <reason>",
+				d, float64(SendLagFloor), fn.Name())
+			return true
+		})
+	}
+}
+
+// constantFloat folds an expression to a float constant when possible.
+func constantFloat(pass *Pass, e ast.Expr) (float64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return 0, false
+	}
+	f, _ := constant.Float64Val(v)
+	return f, true
+}
+
+// selfDomainSend reports whether domArg is <recv>.Domain() of the same
+// proc the Send/SpawnOnAfter is invoked on — a same-domain schedule,
+// which the runtime exempts from the lookahead bound.
+func selfDomainSend(pass *Pass, call *ast.CallExpr, domArg ast.Expr) bool {
+	dcall, ok := ast.Unparen(domArg).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	dfn := staticCallee(pass.TypesInfo, dcall)
+	if dfn == nil || dfn.Pkg() == nil || dfn.Pkg().Path() != simPkgPath ||
+		recvNameOf(dfn) != "Proc" || dfn.Name() != "Domain" {
+		return false
+	}
+	return sameIdentObj(pass, recvExpr(dcall), recvExpr(call))
+}
+
+// recvExpr returns the receiver expression of a method call, or nil.
+func recvExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// sameIdentObj reports whether two expressions are uses of the same
+// simple identifier's object.
+func sameIdentObj(pass *Pass, a, b ast.Expr) bool {
+	ida, ok := ast.Unparen(a).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	idb, ok := ast.Unparen(b).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	var oa, ob types.Object = pass.TypesInfo.Uses[ida], pass.TypesInfo.Uses[idb]
+	return oa != nil && oa == ob
+}

@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vhadoop/internal/lint"
+	"vhadoop/internal/lint/linttest"
+	"vhadoop/internal/sim"
+)
+
+func TestSendLag(t *testing.T) {
+	linttest.Run(t, lint.SendLag, "sendlag")
+}
+
+// TestSendLagFloorMatchesSim pins the analyzer's lookahead floor to the
+// engine's: if sim.DefaultLookahead moves, the static bound must move
+// with it or sendlag's provability claim is wrong.
+func TestSendLagFloorMatchesSim(t *testing.T) {
+	if lint.SendLagFloor != float64(sim.DefaultLookahead) {
+		t.Fatalf("lint.SendLagFloor = %g, sim.DefaultLookahead = %g: the static floor must mirror the engine's",
+			lint.SendLagFloor, float64(sim.DefaultLookahead))
+	}
+}

@@ -1,0 +1,702 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// This file is the spawn-domain inference layer: it decides, for every
+// closure handed to the engine's scheduling surface, which ownership
+// domains the spawned process would write and whether it can leave the
+// Shared domain. It builds on the same callgraph + ownership machinery
+// as xdomain, but computes a different summary: xdomain bills each
+// cross-domain write to the deepest frame that crosses (and stops
+// there), while a spawned closure needs its *full transitive
+// footprint* — every domain it or any callee writes, plus whether it
+// can reach a Shared-only engine primitive — because that footprint is
+// what decides which shard the process may run on.
+//
+// The classification lattice (DESIGN.md §13):
+//
+//	confined(dom)    writes state of exactly one shardable domain
+//	                 (machine or vnet) and never blocks on a
+//	                 Shared-only primitive — migratable to SpawnOn(dom)
+//	confined(any)    writes no owned state at all; may run anywhere
+//	mixed            writes ≥2 shardable domains with no Shared need —
+//	                 split it, or route the minority writes through
+//	                 Shared fan-in sends
+//	shared-required  writes shared- or engine-domain state, blocks on a
+//	                 Shared-only primitive (Done/Gate/Queue waits,
+//	                 FairShare, engine scheduling APIs), or mutates a
+//	                 variable captured from the spawner's stack
+//
+// Engine-domain writes count as shared-required because engine state
+// is the coordinator's own; machine and vnet are the shardable
+// domains. The inference is conservative in the same places ownwalk
+// is: dynamic calls and calls without module-local source are assumed
+// non-mutating and non-blocking (see DESIGN.md §13 for the limits).
+
+// SpawnDomain infers the ownership-domain footprint of every spawned
+// closure and flags the actionable gaps: a confined closure still
+// entering through the Shared-implied Spawn/SpawnAfter APIs (the
+// migration the sharded engine is waiting on), a mixed closure, and a
+// shared-required closure forced onto a non-Shared domain (a runtime
+// panic under WithShards). At/After callbacks are inventoried in the
+// ledger but never flagged: engine events run on the coordinator by
+// design.
+var SpawnDomain = &Analyzer{
+	Name:      "spawndomain",
+	Doc:       "infer the domains spawned closures write; flag migratable, mixed and mis-domained spawn sites",
+	AppliesTo: spawnCritical,
+	Run:       runSpawnDomain,
+}
+
+const simPkgPath = "vhadoop/internal/sim"
+
+// spawnCritical scopes the spawn-site analyzers: every determinism-
+// critical package except the engine itself, whose internal scheduling
+// calls are the mechanism, not migration targets.
+func spawnCritical(pkgPath string) bool {
+	return determinismCritical(pkgPath) && pkgPath != simPkgPath
+}
+
+// --- Shared-only surface of the sim package --------------------------
+
+// Kinds of sim-package calls as seen from a spawned closure.
+const (
+	simShardSafe  = iota // legal from any shard process
+	simSharedOnly        // runtime-guarded to the Shared domain / engine context
+	simWait              // a blocking wait on a Shared-only primitive (blockshared's subset)
+)
+
+// simCallKind classifies a call into vhadoop/internal/sim against the
+// runtime's Shared-domain guards (engine.go/shard.go/signal.go/
+// queue.go/fairshare.go panic paths). The default is simSharedOnly:
+// an unknown engine API must prove itself shard-safe, not the other
+// way around.
+func simCallKind(fn *types.Func) (kind int, prim string) {
+	recv := recvNameOf(fn)
+	name := fn.Name()
+	if recv == "" {
+		prim = "sim." + name
+	} else {
+		prim = "sim." + recv + "." + name
+	}
+	switch recv {
+	case "Proc":
+		switch name {
+		case "Sleep", "SleepUntil", "Yield", "Now", "Name", "Engine", "Err",
+			"Done", "Terminated", "Tracef", "Send", "SpawnOnAfter", "Domain", "Fail":
+			return simShardSafe, ""
+		}
+		return simSharedOnly, prim // Abort (cross-proc control) and anything new
+	case "Engine":
+		switch name {
+		case "Now", "TraceEnabled", "Lookahead", "Shards", "LiveProcs":
+			return simShardSafe, ""
+		}
+		return simSharedOnly, prim // Spawn/At/After/Rand/Tracef/Shutdown/...
+	case "Done":
+		switch name {
+		case "Wait":
+			return simWait, prim
+		case "Fire":
+			return simSharedOnly, prim // wakes Shared-side waiters
+		}
+		return simShardSafe, ""
+	case "Gate":
+		switch name {
+		case "WaitOpen":
+			return simWait, prim
+		case "Open", "Close":
+			return simSharedOnly, prim
+		}
+		return simShardSafe, ""
+	case "Queue":
+		switch name {
+		case "Acquire":
+			return simWait, prim
+		case "Release", "TryAcquire":
+			return simSharedOnly, prim
+		}
+		return simShardSafe, ""
+	case "FairShare":
+		switch name {
+		case "Use", "UseWeighted":
+			return simWait, prim
+		case "Submit", "SetCapacity":
+			return simSharedOnly, prim
+		}
+		return simShardSafe, ""
+	case "Timer":
+		if name == "Cancel" {
+			return simSharedOnly, prim // mutates the Shared event heap
+		}
+		return simShardSafe, ""
+	case "":
+		switch name {
+		case "WaitAll", "WaitProcs":
+			return simWait, prim
+		}
+		return simShardSafe, "" // New*, With*, option constructors
+	}
+	return simSharedOnly, prim
+}
+
+// recvNameOf returns the name of fn's receiver type, or "" for
+// package-level functions.
+func recvNameOf(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj() != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// --- transitive spawn summaries --------------------------------------
+
+// spawnBlocker is one Shared-only sim primitive a function (or its
+// callees) reaches.
+type spawnBlocker struct {
+	prim string // "sim.Done.Wait"
+	wait bool   // wait-family: Done/Gate/Queue waits, FairShare use
+	via  string // call chain from the summarized frame, "" when direct
+}
+
+// maxSpawnBlockers caps a summary's blocker list; beyond it every new
+// primitive collapses into the count, keeping ledger entries bounded.
+const maxSpawnBlockers = 8
+
+// spawnSummary is one function's transitive footprint as seen from a
+// spawned closure: every domain it writes regardless of its own
+// context (unlike ownSummary.writes, which only counts own-context
+// writes and leaves crossings at the deepest frame), plus the
+// Shared-only primitives it can reach.
+type spawnSummary struct {
+	doms      uint64            // domain bits of state written, transitively
+	domParams uint64            // bit i: writes state rooted at parameter i
+	via       map[string]string // domain → sample call chain ("" = direct write)
+	blockers  []spawnBlocker    // deduped by primitive, discovery order
+}
+
+func newSpawnSummary() *spawnSummary {
+	return &spawnSummary{via: make(map[string]string)}
+}
+
+func (s *spawnSummary) addDom(d, via string) {
+	if d == "" {
+		return
+	}
+	if s.doms&domainBit(d) == 0 {
+		s.doms |= domainBit(d)
+		s.via[d] = via
+	}
+}
+
+func (s *spawnSummary) addBlocker(prim string, wait bool, via string) {
+	for i := range s.blockers {
+		if s.blockers[i].prim == prim {
+			if wait && !s.blockers[i].wait {
+				s.blockers[i].wait = true
+			}
+			return
+		}
+	}
+	if len(s.blockers) < maxSpawnBlockers {
+		s.blockers = append(s.blockers, spawnBlocker{prim: prim, wait: wait, via: via})
+	}
+}
+
+// chainVia prepends a frame to a callee's sample chain, capped at
+// three frames so ledger entries stay readable.
+func chainVia(head, tail string) string {
+	if tail == "" {
+		return head
+	}
+	if strings.Count(tail, " -> ") >= 2 {
+		return head
+	}
+	return head + " -> " + tail
+}
+
+// spawnSummaryFor computes (once) the transitive spawn footprint of
+// fn, or nil when fn has no module-local source. Recursion resolves
+// optimistically, like the other interprocedural summaries.
+func (ip *interproc) spawnSummaryFor(fn *types.Func) *spawnSummary {
+	if s, ok := ip.spawnSummaries[fn]; ok {
+		return s
+	}
+	n := ip.node(fn)
+	if n == nil {
+		return nil
+	}
+	if ip.spawnBusy[fn] {
+		return &spawnSummary{}
+	}
+	ip.spawnBusy[fn] = true
+	s := newSpawnSummary()
+	if n.decl.Body != nil {
+		w := &spawnWalker{
+			pkg:         n.pkg,
+			ip:          ip,
+			sum:         s,
+			body:        n.decl.Body,
+			paramIdx:    paramIndex(n.pkg, n.decl.Recv, n.decl.Type.Params),
+			freshLocals: computeFreshLocals(ip, n.pkg, n.decl.Body),
+		}
+		w.walk()
+	}
+	delete(ip.spawnBusy, fn)
+	ip.spawnSummaries[fn] = s
+	return s
+}
+
+// paramIndex assigns receiver-first positions to declared parameters,
+// matching ownSummary's writeParams indexing.
+func paramIndex(pkg *Package, fls ...*ast.FieldList) map[types.Object]int {
+	idx := make(map[types.Object]int)
+	i := 0
+	for _, fl := range fls {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					idx[obj] = i
+				}
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+	}
+	return idx
+}
+
+// spawnWalker accumulates a spawn summary over one body: a function
+// declaration's, or a spawn-site closure's (captures=true, where
+// mutating a variable declared outside the body is a write to the
+// spawner's stack — Shared-side state once the closure runs on a
+// shard).
+type spawnWalker struct {
+	pkg         *Package
+	ip          *interproc
+	sum         *spawnSummary
+	body        *ast.BlockStmt
+	paramIdx    map[types.Object]int
+	freshLocals map[types.Object]bool
+	captures    bool
+}
+
+func (w *spawnWalker) walk() {
+	// Closures handed to the scheduling surface inside this body run as
+	// their own processes/events: their footprint is classified at their
+	// own spawn site, not billed to this one.
+	nested := make(map[*ast.FuncLit]bool)
+	for _, st := range spawnSitesIn(w.pkg, w.body) {
+		if fl, ok := ast.Unparen(st.cbArg).(*ast.FuncLit); ok {
+			nested[fl] = true
+		}
+	}
+	ast.Inspect(w.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if nested[n] {
+				return false
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				w.write(lhs)
+			}
+		case *ast.IncDecStmt:
+			w.write(n.X)
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+// capturedObj reports whether obj is declared outside the walked body
+// (and is not a parameter): for a spawn-site closure that is a
+// variable on the spawning function's stack.
+func (w *spawnWalker) capturedObj(obj types.Object) bool {
+	if !w.captures || obj == nil {
+		return false
+	}
+	if _, isParam := w.paramIdx[obj]; isParam {
+		return false
+	}
+	return obj.Pos() < w.body.Pos() || obj.Pos() > w.body.End()
+}
+
+func (w *spawnWalker) write(e ast.Expr) {
+	t := w.ip.resolveWrite(w.pkg, e)
+	if _, bare := ast.Unparen(e).(*ast.Ident); bare && t.global == nil {
+		// Rebinding a local is not a state write — unless the local is
+		// captured from the enclosing function.
+		if w.capturedObj(t.root) {
+			w.sum.addDom(DomainShared, "captured variable "+t.root.Name())
+		}
+		return
+	}
+	if t.domain == "" {
+		if t.root == nil {
+			return
+		}
+		if i, ok := w.paramIdx[t.root]; ok && i < 64 {
+			w.sum.domParams |= 1 << uint(i)
+			return
+		}
+		if w.capturedObj(t.root) {
+			w.sum.addDom(DomainShared, "captured variable "+t.root.Name())
+		}
+		return
+	}
+	if w.freshRooted(t) {
+		return
+	}
+	w.sum.addDom(t.domain, "")
+}
+
+// freshRooted mirrors ownWalker.freshRooted: writes into an object the
+// body constructed itself are construction, not mutation.
+func (w *spawnWalker) freshRooted(t writeTarget) bool {
+	if t.root == nil || !w.freshLocals[t.root] {
+		return false
+	}
+	v, ok := t.root.(*types.Var)
+	if !ok {
+		return false
+	}
+	d, _ := w.ip.typeDomain(v.Type())
+	return d == t.domain
+}
+
+func (w *spawnWalker) call(call *ast.CallExpr) {
+	fn := staticCallee(w.pkg.Info, call)
+	if fn == nil {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) > 0 {
+			switch id.Name {
+			case "delete", "copy", "clear":
+				w.write(call.Args[0])
+			}
+		}
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == simPkgPath {
+		if kind, prim := simCallKind(fn); kind != simShardSafe {
+			w.sum.addBlocker(prim, kind == simWait, "")
+		}
+		return
+	}
+	s := w.ip.spawnSummaryFor(fn)
+	if s == nil {
+		return // no module-local source: assumed pure (DESIGN.md §13 limits)
+	}
+	via := funcKey(fn)
+	for _, d := range domainsOf(s.doms) {
+		w.sum.addDom(d, chainVia(via, s.via[d]))
+	}
+	for _, b := range s.blockers {
+		w.sum.addBlocker(b.prim, b.wait, chainVia(via, b.via))
+	}
+	if s.domParams != 0 {
+		for i, a := range ownCallArgs(w.pkg, call) {
+			if i >= 64 {
+				break
+			}
+			if s.domParams>>uint(i)&1 == 0 {
+				continue
+			}
+			t := w.ip.resolveArg(w.pkg, a)
+			if t.domain != "" {
+				if !w.freshRooted(t) {
+					w.sum.addDom(t.domain, via)
+				}
+			} else if t.root != nil {
+				if j, ok := w.paramIdx[t.root]; ok && j < 64 {
+					w.sum.domParams |= 1 << uint(j)
+				} else if w.capturedObj(t.root) {
+					w.sum.addDom(DomainShared, "captured variable "+t.root.Name())
+				}
+			}
+		}
+	}
+}
+
+// --- spawn sites ------------------------------------------------------
+
+// spawnSite is one scheduling call: a process spawn or an engine
+// event. domArg is nil for the Shared-implied APIs; nameArg is nil for
+// the name-less At/After.
+type spawnSite struct {
+	call    *ast.CallExpr
+	api     string // Spawn | SpawnAfter | SpawnOn | SpawnOnAfter | At | After
+	domArg  ast.Expr
+	nameArg ast.Expr
+	cbArg   ast.Expr
+}
+
+// spawnSitesIn enumerates the scheduling calls in a body, in source
+// order.
+func spawnSitesIn(pkg *Package, body *ast.BlockStmt) []spawnSite {
+	var out []spawnSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != simPkgPath {
+			return true
+		}
+		st := spawnSite{call: call, api: fn.Name()}
+		switch fn.Name() {
+		case "Spawn":
+			if len(call.Args) != 2 {
+				return true
+			}
+			st.nameArg, st.cbArg = call.Args[0], call.Args[1]
+		case "SpawnAfter":
+			if len(call.Args) != 3 {
+				return true
+			}
+			st.nameArg, st.cbArg = call.Args[1], call.Args[2]
+		case "At", "After":
+			if len(call.Args) != 2 {
+				return true
+			}
+			st.cbArg = call.Args[1]
+		case "SpawnOn":
+			if len(call.Args) != 3 {
+				return true
+			}
+			st.domArg, st.nameArg, st.cbArg = call.Args[0], call.Args[1], call.Args[2]
+		case "SpawnOnAfter": // Engine and Proc forms share arg positions
+			if len(call.Args) != 4 {
+				return true
+			}
+			st.domArg, st.nameArg, st.cbArg = call.Args[0], call.Args[2], call.Args[3]
+		default:
+			return true
+		}
+		out = append(out, st)
+		return true
+	})
+	return out
+}
+
+// domIsShared reports whether a site's domain argument is provably
+// sim.Shared (constant 0). A non-constant domain argument is treated
+// as non-Shared: call sites pass machine domains there.
+func domIsShared(pkg *Package, e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return exact && v == 0
+}
+
+// procNameOf renders a site's process-name argument: the constant
+// string when it folds, "<prefix>*" for literal+dynamic
+// concatenations, "*" otherwise.
+func procNameOf(pkg *Package, e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value)
+	}
+	if b, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && b.Op == token.ADD {
+		if tv, ok := pkg.Info.Types[b.X]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return constant.StringVal(tv.Value) + "*"
+		}
+	}
+	return "*"
+}
+
+// --- classification ---------------------------------------------------
+
+// Spawn-site classes, in "worst wins" order for ledger aggregation.
+const (
+	classConfined       = "confined"
+	classMixed          = "mixed"
+	classSharedRequired = "shared-required"
+)
+
+// spawnClass is one site's classification.
+type spawnClass struct {
+	class    string
+	domain   string            // confined target domain; "" = any
+	writes   []string          // domains written, sorted
+	via      map[string]string // domain → sample chain
+	blockers []string          // rendered blockers, sorted
+	waits    []spawnBlocker    // wait-family blockers, for blockshared
+}
+
+// classifySpawn computes the classification of one spawn site from its
+// callback's transitive footprint.
+func (ip *interproc) classifySpawn(pkg *Package, st spawnSite) spawnClass {
+	var sum *spawnSummary
+	if fl, ok := ast.Unparen(st.cbArg).(*ast.FuncLit); ok {
+		sum = newSpawnSummary()
+		w := &spawnWalker{
+			pkg:         pkg,
+			ip:          ip,
+			sum:         sum,
+			body:        fl.Body,
+			paramIdx:    paramIndex(pkg, fl.Type.Params),
+			freshLocals: computeFreshLocals(ip, pkg, fl.Body),
+			captures:    true,
+		}
+		w.walk()
+	} else if fn := callbackFunc(pkg, st.cbArg); fn != nil {
+		sum = ip.spawnSummaryFor(fn)
+	}
+	if sum == nil {
+		return spawnClass{
+			class:    classSharedRequired,
+			blockers: []string{"(unresolved callback)"},
+		}
+	}
+	c := spawnClass{writes: domainsOf(sum.doms), via: sum.via}
+	for _, b := range sum.blockers {
+		desc := b.prim
+		if b.via != "" {
+			desc += " via " + b.via
+		}
+		c.blockers = append(c.blockers, desc)
+		if b.wait {
+			c.waits = append(c.waits, b)
+		}
+	}
+	sort.Strings(c.blockers)
+	shardable := sum.doms &^ (domainBit(DomainShared) | domainBit(DomainEngine))
+	switch {
+	case len(sum.blockers) > 0 || sum.doms&(domainBit(DomainShared)|domainBit(DomainEngine)) != 0:
+		c.class = classSharedRequired
+	case bits.OnesCount64(shardable) > 1:
+		c.class = classMixed
+	default:
+		c.class = classConfined
+		if ds := domainsOf(shardable); len(ds) == 1 {
+			c.domain = ds[0]
+		}
+	}
+	return c
+}
+
+// callbackFunc resolves a non-literal callback argument (a named
+// function or method value) to its *types.Func, or nil.
+func callbackFunc(pkg *Package, e ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// renderWrites lists a classification's written domains, each with its
+// sample frame chain when the write is not direct.
+func renderWrites(c spawnClass) []string {
+	out := make([]string, 0, len(c.writes))
+	for _, d := range c.writes {
+		if via := c.via[d]; via != "" {
+			out = append(out, d+" via "+via)
+		} else {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// --- the analyzer -----------------------------------------------------
+
+func runSpawnDomain(pass *Pass) {
+	ip := pass.pkg.interproc()
+	if ip == nil {
+		return
+	}
+	g := ip.graphFor(pass.pkg)
+	for _, n := range g.bottomUp() {
+		ip.spawnSummaryFor(n.fn)
+	}
+	for _, n := range g.order {
+		if n.decl.Body == nil {
+			continue
+		}
+		for _, st := range spawnSitesIn(pass.pkg, n.decl.Body) {
+			if st.api == "At" || st.api == "After" {
+				continue // engine events: ledger-only
+			}
+			c := ip.classifySpawn(pass.pkg, st)
+			sharedTarget := domIsShared(pass.pkg, st.domArg)
+			switch c.class {
+			case classConfined:
+				if !sharedTarget {
+					continue // already migrated
+				}
+				if c.domain == "" {
+					pass.Reportf(st.call.Pos(), "spawned closure writes no owned state; it is confined by inference — spawn it with SpawnOn to pick its shard domain, or annotate //vhlint:allow spawndomain -- <reason>")
+				} else {
+					pass.Reportf(st.call.Pos(), "spawned closure writes only %s-domain state; migrate this %s to SpawnOn with the %s domain so a sharded engine can parallelize it, or annotate //vhlint:allow spawndomain -- <reason>",
+						c.domain, st.api, c.domain)
+				}
+			case classMixed:
+				pass.Reportf(st.call.Pos(), "spawned closure writes state of %d shardable domains (%s); split it per domain or route the minority writes through Shared fan-in sends, or annotate //vhlint:allow spawndomain -- <reason>",
+					len(c.writes), strings.Join(renderWrites(c), ", "))
+			case classSharedRequired:
+				if sharedTarget {
+					continue // honestly Shared: the ledger inventories why
+				}
+				// Forced onto a shard while needing Shared state: report the
+				// write-side causes here (blockshared owns the wait side).
+				var causes []string
+				for _, d := range []string{DomainShared, DomainEngine} {
+					for _, wd := range c.writes {
+						if wd == d {
+							causes = append(causes, d)
+						}
+					}
+				}
+				if len(causes) == 0 {
+					continue
+				}
+				cc := spawnClass{writes: causes, via: c.via}
+				pass.Reportf(st.call.Pos(), "closure spawned on a non-Shared domain writes %s-domain state (%s); under WithShards this write is unordered across shards — keep the process on Shared or confine the state, or annotate //vhlint:allow spawndomain -- <reason>",
+					strings.Join(causes, "- and "), strings.Join(renderWrites(cc), ", "))
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vhadoop/internal/lint"
+	"vhadoop/internal/lint/linttest"
+)
+
+func TestSpawnDomain(t *testing.T) {
+	linttest.Run(t, lint.SpawnDomain, "spawndomain")
+}

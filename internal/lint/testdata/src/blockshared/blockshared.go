@@ -1,0 +1,75 @@
+// Test fixtures for the blockshared analyzer: blocking waits on
+// Shared-only primitives reachable from closures spawned on a
+// non-Shared domain.
+package blockshared
+
+import "vhadoop/internal/sim"
+
+//vhlint:owner machine
+type node struct {
+	busy int
+}
+
+// shardWait: a shard-domain proc must not block on a Done.
+func shardWait(e *sim.Engine, dom sim.Domain, d *sim.Done) {
+	e.SpawnOn(dom, "w", func(p *sim.Proc) { // want "reaches sim.Done.Wait"
+		d.Wait(p)
+	})
+}
+
+// helper exists so shardGate's wait is only visible transitively.
+func helper(p *sim.Proc, g *sim.Gate) {
+	g.WaitOpen(p)
+}
+
+// shardGate: the wait is reported at the spawn site with the chain
+// that reaches it.
+func shardGate(e *sim.Engine, dom sim.Domain, g *sim.Gate) {
+	e.SpawnOn(dom, "g", func(p *sim.Proc) { // want "reaches sim.Gate.WaitOpen via test/blockshared.helper"
+		helper(p, g)
+	})
+}
+
+// shardQueue: Queue.Acquire and FairShare.Use are both wait-family.
+func shardQueue(e *sim.Engine, dom sim.Domain, q *sim.Queue, fs *sim.FairShare) {
+	e.SpawnOn(dom, "q", func(p *sim.Proc) { // want "sim.Queue.Acquire" "sim.FairShare.Use"
+		q.Acquire(p, 1)
+		fs.Use(p, 10)
+	})
+}
+
+// nestedShard: Proc.SpawnOnAfter sites are checked like Engine ones.
+func nestedShard(e *sim.Engine, dom sim.Domain, d *sim.Done) {
+	e.SpawnOn(dom, "outer", func(p *sim.Proc) {
+		p.SpawnOnAfter(dom, 1, "inner", func(q *sim.Proc) { // want "reaches sim.Done.Wait"
+			d.Wait(q)
+		})
+	})
+}
+
+// sharedFanIn: waits on the Shared domain are the sanctioned fan-in
+// pattern — plain Spawn and provably-Shared SpawnOn stay quiet.
+func sharedFanIn(e *sim.Engine, d *sim.Done) {
+	e.Spawn("w1", func(p *sim.Proc) {
+		d.Wait(p)
+	})
+	e.SpawnOn(sim.Shared, "w2", func(p *sim.Proc) {
+		d.Wait(p)
+	})
+}
+
+// shardClean: sleeping and writing owned state on a shard is fine.
+func shardClean(e *sim.Engine, dom sim.Domain, n *node) {
+	e.SpawnOn(dom, "ok", func(p *sim.Proc) {
+		n.busy++
+		p.Sleep(1)
+	})
+}
+
+// waived: an allow annotation suppresses the wait report.
+func waived(e *sim.Engine, dom sim.Domain, d *sim.Done) {
+	//vhlint:allow blockshared -- fixture: wait restructured in a follow-up
+	e.SpawnOn(dom, "w", func(p *sim.Proc) {
+		d.Wait(p)
+	})
+}

@@ -1,0 +1,41 @@
+// Test fixtures for the sendlag analyzer: cross-domain scheduling
+// delays that are compile-time constants provably below the engine's
+// lookahead floor (sim.DefaultLookahead).
+package sendlag
+
+import "vhadoop/internal/sim"
+
+const tick = 5e-7 // below the 1e-6 floor
+
+func tooTight(p *sim.Proc, dom sim.Domain) {
+	p.Send(dom, 0, func() {})    // want "constant delay 0 is below the engine's lookahead floor"
+	p.Send(dom, 1e-9, func() {}) // want "below the engine's lookahead floor"
+	p.Send(dom, tick, func() {}) // want "constant delay 5e-07"
+}
+
+func atOrAboveFloor(p *sim.Proc, dom sim.Domain) {
+	p.Send(dom, 1e-6, func() {}) // at the floor: legal on a default engine
+	p.Send(dom, 2.5, func() {})
+}
+
+func selfSend(p *sim.Proc) {
+	// Same-domain scheduling has no lookahead bound.
+	p.Send(p.Domain(), 0, func() {})
+}
+
+func crossProcDomain(p, q *sim.Proc) {
+	p.Send(q.Domain(), 0, func() {}) // want "below the engine's lookahead floor"
+}
+
+func spawnTight(p *sim.Proc, dom sim.Domain) {
+	p.SpawnOnAfter(dom, 0, "x", func(r *sim.Proc) {}) // want "cross-domain SpawnOnAfter this tight"
+}
+
+func runtimeDelay(p *sim.Proc, dom sim.Domain, d sim.Time) {
+	p.Send(dom, d, func() {}) // not provable statically: runtime's job
+}
+
+func waived(p *sim.Proc, dom sim.Domain) {
+	//vhlint:allow sendlag -- fixture: target engine configures zero lookahead
+	p.Send(dom, 0, func() {})
+}

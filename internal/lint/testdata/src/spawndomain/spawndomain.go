@@ -1,0 +1,146 @@
+// Test fixtures for the spawndomain analyzer. The package default
+// domain of test packages is shared, so unannotated state keeps a
+// closure shared-required; the annotated types below carve out
+// machine- and vnet-confined state.
+package spawndomain
+
+import "vhadoop/internal/sim"
+
+//vhlint:owner machine
+type node struct {
+	busy int
+}
+
+//vhlint:owner vnet
+type wire struct {
+	queued int
+}
+
+type book struct { // unannotated: test-package default = shared
+	entries int
+}
+
+// confinedSpawn: the closure writes only machine state through a
+// captured parameter — migratable, so the plain Spawn is flagged.
+func confinedSpawn(e *sim.Engine, n *node) {
+	e.Spawn("tick", func(p *sim.Proc) { // want "writes only machine-domain state; migrate this Spawn to SpawnOn"
+		n.busy++
+		p.Sleep(1)
+	})
+}
+
+// confinedAfter: SpawnAfter is Shared-implied too.
+func confinedAfter(e *sim.Engine, n *node) {
+	e.SpawnAfter(2, "tick", func(p *sim.Proc) { // want "migrate this SpawnAfter to SpawnOn"
+		n.busy++
+	})
+}
+
+// migrated: the same closure on a non-Shared SpawnOn is clean.
+func migrated(e *sim.Engine, n *node, dom sim.Domain) {
+	e.SpawnOn(dom, "tick", func(p *sim.Proc) {
+		n.busy++
+		p.Sleep(1)
+	})
+}
+
+// stillShared: SpawnOn with a provably Shared domain is no migration.
+func stillShared(e *sim.Engine, n *node) {
+	e.SpawnOn(sim.Shared, "tick", func(p *sim.Proc) { // want "writes only machine-domain state"
+		n.busy++
+	})
+}
+
+// domainFree: no owned writes at all — confined by inference.
+func domainFree(e *sim.Engine) {
+	e.Spawn("idle", func(p *sim.Proc) { // want "writes no owned state"
+		p.Sleep(5)
+	})
+}
+
+// sharedSpawn: shared-domain writes keep the proc on Shared; the plain
+// Spawn is exactly right and stays quiet.
+func sharedSpawn(e *sim.Engine, b *book) {
+	e.Spawn("log", func(p *sim.Proc) {
+		b.entries++
+	})
+}
+
+// misdomained: a shared-required closure forced onto a shard domain is
+// the inverse bug.
+func misdomained(e *sim.Engine, b *book, dom sim.Domain) {
+	e.SpawnOn(dom, "log", func(p *sim.Proc) { // want "non-Shared domain writes shared-domain state"
+		b.entries++
+	})
+}
+
+// blocked: a Shared-only wait keeps the closure shared-required, so
+// the plain Spawn stays quiet (the wait itself is blockshared's job).
+func blocked(e *sim.Engine, d *sim.Done) {
+	e.Spawn("wait", func(p *sim.Proc) {
+		d.Wait(p)
+	})
+}
+
+// mixedSpawn: two shardable domains written with no Shared need.
+func mixedSpawn(e *sim.Engine, n *node, wr *wire) {
+	e.Spawn("both", func(p *sim.Proc) { // want "writes state of 2 shardable domains .machine, vnet."
+		n.busy++
+		wr.queued++
+	})
+}
+
+// drain exists so delegated's closure writes vnet state only through a
+// callee summary.
+func drain(wr *wire) {
+	wr.queued--
+}
+
+// delegated: transitive inference through the call graph.
+func delegated(e *sim.Engine, wr *wire) {
+	e.Spawn("drain", func(p *sim.Proc) { // want "writes only vnet-domain state"
+		drain(wr)
+	})
+}
+
+// capturedVar: rebinding a variable captured from the spawner's stack
+// is a write to Shared-side state — not confined, no diagnostic.
+func capturedVar(e *sim.Engine) int {
+	total := 0
+	e.Spawn("sum", func(p *sim.Proc) {
+		total++
+	})
+	return total
+}
+
+// waived: an allow annotation suppresses the migration nudge.
+func waived(e *sim.Engine, n *node) {
+	//vhlint:allow spawndomain -- fixture: migration deliberately deferred
+	e.Spawn("tick", func(p *sim.Proc) {
+		n.busy++
+	})
+}
+
+// atEvent: At/After callbacks are coordinator events, inventoried in
+// the ledger but never flagged, however confined they look.
+func atEvent(e *sim.Engine, n *node) {
+	e.At(3, func() {
+		n.busy++
+	})
+	e.After(1, func() {
+		n.busy++
+	})
+}
+
+// nestedSpawn: a closure handed to the scheduling surface inside a
+// spawned body runs as its own process — its machine writes are not
+// billed to the outer closure, which stays shared-required (Engine.
+// Spawn is Shared-only) and quiet; the inner site is flagged on its
+// own.
+func nestedSpawn(e *sim.Engine, n *node) {
+	e.Spawn("outer", func(p *sim.Proc) {
+		e.Spawn("inner", func(q *sim.Proc) { // want "writes only machine-domain state"
+			n.busy++
+		})
+	})
+}

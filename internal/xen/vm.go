@@ -73,6 +73,12 @@ type VM struct {
 // Host returns the physical machine currently hosting the VM.
 func (vm *VM) Host() *phys.Machine { return vm.host }
 
+// Domain returns the shard domain of the VM's current host. A process
+// pins its domain at spawn time, so a proc spawned on a VM's domain
+// keeps running on the original host's shard across live migration —
+// migration moves guest state, not the scheduling of in-flight work.
+func (vm *VM) Domain() sim.Domain { return vm.host.Domain() }
+
 // Engine returns the simulation engine the VM lives in.
 func (vm *VM) Engine() *sim.Engine { return vm.mgr.engine }
 

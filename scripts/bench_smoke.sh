@@ -7,7 +7,7 @@
 #      sequential hot path. The sharded engine rides on the same event loop
 #      structs, so this is also the "WithShards support costs the
 #      sequential path nothing" check.
-#   2. BenchmarkEngineThroughputSharded/1 vs its BENCH_PR8 pin — the
+#   2. BenchmarkEngineThroughputSharded/1 vs its BENCH_PR9 pin — the
 #      nshards>1 machinery at width 1, which must reduce to the sequential
 #      loop and therefore must not drift either.
 #
@@ -27,7 +27,7 @@
 #                   BENCH_PRn.json), point PIN_FILE there for an
 #                   apples-to-apples gate.
 #   SHARD_PIN_FILE  JSON file holding the Sharded/1 pin (default
-#                   BENCH_PR8.json); gate skipped if the file or key is
+#                   BENCH_PR9.json); gate skipped if the file or key is
 #                   absent.
 #   MARGIN          tolerated regression over the pin, percent (default 5)
 #   BENCHTIME       passed to -benchtime (default 20x)
@@ -36,7 +36,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PIN_FILE=${PIN_FILE:-BENCH_PR1.json}
-SHARD_PIN_FILE=${SHARD_PIN_FILE:-BENCH_PR8.json}
+SHARD_PIN_FILE=${SHARD_PIN_FILE:-BENCH_PR9.json}
 MARGIN=${MARGIN:-5}
 BENCHTIME=${BENCHTIME:-20x}
 COUNT=${COUNT:-3}

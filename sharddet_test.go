@@ -41,6 +41,7 @@ func TestShardedPlatformDifferential(t *testing.T) {
 		chaostest.Wordcount(),
 		chaostest.TeraSort(),
 		chaostest.Canopy(),
+		chaostest.DFSIO(),
 	}
 	platformSeeds := []int64{42, 7, 1234}
 	schedules := []struct {
