@@ -164,7 +164,7 @@ func main() {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vhadoop [flags] <table1|fig2|fig3|fig4a|fig4b|fig5|table2|fig6|fig7|fig8|nmon|chaos|all>")
+		fmt.Fprintln(os.Stderr, "usage: vhadoop [flags] <table1|fig2|fig3|fig4a|fig4b|fig5|table2|fig6|fig7|fig8|nmon|chaos|jobsvc|all>")
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Seed: *seed, Reps: *reps, Nodes: *nodes, Quick: *quick, Shards: *shards}
@@ -254,6 +254,14 @@ func main() {
 			if err := runChaos(cfg, *out); err != nil {
 				return err
 			}
+		case "jobsvc":
+			res, err := experiments.RunJobsvc(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Job-service study: multi-tenant backlogs under the fair-share scheduler")
+			fmt.Println(res.Table())
+			fmt.Print(res.MetricsLines())
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -262,7 +270,7 @@ func main() {
 
 	names := []string{flag.Arg(0)}
 	if flag.Arg(0) == "all" {
-		names = []string{"table1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "nmon", "chaos"}
+		names = []string{"table1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "nmon", "chaos", "jobsvc"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

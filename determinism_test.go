@@ -31,9 +31,15 @@ func runWordcountOnce(t *testing.T) ([]mapreduce.KV, sim.Time) {
 		if _, err := pl.LoadText(p, "/wc", 32e6, recs); err != nil {
 			return err
 		}
-		var err error
-		out, _, err = pl.MR.RunAndCollect(p, workloads.WordcountJob("/wc", "", 4, true))
-		return err
+		h, err := pl.MR.Submit(p, workloads.WordcountJob("/wc", "", 4, true))
+		if err != nil {
+			return err
+		}
+		if _, err := h.Wait(p); err != nil {
+			return err
+		}
+		out = h.OutputRecords()
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -86,11 +86,14 @@ func main() {
 			}
 		}
 
-		rerun, err := pl.MR.Run(p, shuffleHeavy("/tuner/corpus"))
+		h, err := pl.MR.Submit(p, shuffleHeavy("/tuner/corpus"))
 		if err != nil {
 			return err
 		}
-		after = rerun
+		after, err = h.Wait(p)
+		if err != nil {
+			return err
+		}
 		mon.Stop()
 		return nil
 	})

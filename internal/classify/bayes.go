@@ -140,6 +140,23 @@ type Trainer struct {
 	// BytesPerDoc is the virtual on-disk size of one serialized document.
 	BytesPerDoc float64
 	Cost        mapreduce.CostModel
+	// SubmitOpts (tenant, priority, deadline) are forwarded to every
+	// MapReduce job the trainer submits.
+	SubmitOpts []mapreduce.SubmitOption
+}
+
+// runJob submits spec with the trainer's submission options and waits,
+// returning the collected output.
+func (tr *Trainer) runJob(p *sim.Proc, spec mapreduce.JobSpec) ([]mapreduce.KV, mapreduce.JobStats, error) {
+	h, err := tr.pl.MR.Submit(p, spec, tr.SubmitOpts...)
+	if err != nil {
+		return nil, mapreduce.JobStats{}, err
+	}
+	stats, err := h.Wait(p)
+	if err != nil {
+		return nil, stats, err
+	}
+	return h.OutputRecords(), stats, nil
 }
 
 // NewTrainer prepares a distributed trainer reading from the given HDFS path.
@@ -202,7 +219,7 @@ func (tr *Trainer) TrainMR(p *sim.Proc) (*Model, mapreduce.JobStats, error) {
 		Cost: tr.Cost,
 	}
 	cfg.NewCombiner = cfg.NewReducer
-	out, stats, err := tr.pl.MR.RunAndCollect(p, cfg)
+	out, stats, err := tr.runJob(p, cfg)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -254,7 +271,7 @@ func (tr *Trainer) ClassifyMR(p *sim.Proc, m *Model, testFile string) (map[strin
 		},
 		Cost: tr.Cost,
 	}
-	out, stats, err := tr.pl.MR.RunAndCollect(p, cfg)
+	out, stats, err := tr.runJob(p, cfg)
 	if err != nil {
 		return nil, stats, err
 	}

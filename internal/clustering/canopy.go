@@ -161,7 +161,7 @@ func CanopyMR(p *sim.Proc, d *Driver, opts CanopyOptions) (Result, error) {
 		nil,
 	)
 	cfg.Cost.MapCPUPerRecord = d.perRecordCost(48) // typical live canopy count
-	out, stats, err := d.pl.MR.RunAndCollect(p, cfg)
+	out, stats, err := d.runJob(p, cfg)
 	if err != nil {
 		return res, err
 	}

@@ -226,7 +226,7 @@ func DirichletMR(p *sim.Proc, d *Driver, opts DirichletOptions) (Result, error) 
 			kmeansCombiner,
 		)
 		cfg.Cost.MapCPUPerRecord = d.perRecordCost(len(captured))
-		out, stats, err := d.pl.MR.RunAndCollect(p, cfg)
+		out, stats, err := d.runJob(p, cfg)
 		if err != nil {
 			return res, err
 		}

@@ -61,8 +61,26 @@ type Driver struct {
 	StateBytesPerCluster float64
 	// Cost charges per-record CPU for the distance computations.
 	Cost mapreduce.CostModel
+	// SubmitOpts (tenant, priority, deadline) are forwarded to every
+	// MapReduce job the driver submits.
+	SubmitOpts []mapreduce.SubmitOption
 
 	iteration int
+}
+
+// runJob submits spec with the driver's submission options and waits for
+// completion, returning the collected output — the driver-internal
+// replacement for the deprecated RunAndCollect surface.
+func (d *Driver) runJob(p *sim.Proc, spec mapreduce.JobSpec) ([]mapreduce.KV, mapreduce.JobStats, error) {
+	h, err := d.pl.MR.Submit(p, spec, d.SubmitOpts...)
+	if err != nil {
+		return nil, mapreduce.JobStats{}, err
+	}
+	stats, err := h.Wait(p)
+	if err != nil {
+		return nil, stats, err
+	}
+	return h.OutputRecords(), stats, nil
 }
 
 // NewDriver prepares a driver for the given input name. Call Load before

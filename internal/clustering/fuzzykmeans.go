@@ -205,7 +205,7 @@ func FuzzyKMeansMR(p *sim.Proc, d *Driver, initial []Vector, opts FuzzyKMeansOpt
 			func() mapreduce.Reducer { return kmeansCombiner() },
 		)
 		cfg.Cost.MapCPUPerRecord = 2 * d.perRecordCost(len(captured)) // pow() on top of distances
-		out, stats, err := d.pl.MR.RunAndCollect(p, cfg)
+		out, stats, err := d.runJob(p, cfg)
 		if err != nil {
 			return res, err
 		}

@@ -163,7 +163,7 @@ func KMeansMR(p *sim.Proc, d *Driver, initial []Vector, opts KMeansOptions) (Res
 			kmeansCombiner,
 		)
 		cfg.Cost.MapCPUPerRecord = d.perRecordCost(len(captured))
-		out, stats, err := d.pl.MR.RunAndCollect(p, cfg)
+		out, stats, err := d.runJob(p, cfg)
 		if err != nil {
 			return res, err
 		}

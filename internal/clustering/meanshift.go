@@ -174,7 +174,7 @@ func MeanShiftMR(p *sim.Proc, d *Driver, opts MeanShiftOptions) (Result, error) 
 			kmeansCombiner,
 		)
 		cfg.Cost.MapCPUPerRecord = d.perRecordCost(len(captured))
-		out, stats, err := d.pl.MR.RunAndCollect(p, cfg)
+		out, stats, err := d.runJob(p, cfg)
 		if err != nil {
 			return res, err
 		}

@@ -249,7 +249,7 @@ func MinHashMR(p *sim.Proc, d *Driver, opts MinHashOptions) (Result, error) {
 		nil,
 	)
 	cfg.Cost.MapCPUPerRecord = d.perRecordCost(opts.NumHashes)
-	out, stats, err := d.pl.MR.RunAndCollect(p, cfg)
+	out, stats, err := d.runJob(p, cfg)
 	if err != nil {
 		return res, err
 	}

@@ -256,3 +256,27 @@ func TestFig8ProducesAllPanels(t *testing.T) {
 		t.Fatal("kmeans panel lacks the bold red final iteration")
 	}
 }
+
+func TestJobsvcStudyShapes(t *testing.T) {
+	res, err := RunJobsvc(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []JobsvcShape{res.Mixed, res.Uniform} {
+		if s.Result.Admitted != s.Opts.Jobs || s.Result.Rejected != 0 {
+			t.Fatalf("%s: admitted %d rejected %d of %d jobs", s.Name, s.Result.Admitted, s.Result.Rejected, s.Opts.Jobs)
+		}
+	}
+	if j := res.Uniform.Result.Jain; j < 0.9 {
+		t.Fatalf("uniform-shape Jain index = %.3f, want >= 0.9", j)
+	}
+	tbl := res.Table()
+	for _, want := range []string{"mixed", "uniform", "Jain"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	if !strings.Contains(res.MetricsLines(), "jobsvc-bench shape=uniform") {
+		t.Fatalf("metrics lines malformed:\n%s", res.MetricsLines())
+	}
+}

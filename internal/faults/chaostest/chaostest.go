@@ -11,9 +11,7 @@ import (
 	"strconv"
 	"strings"
 
-	"vhadoop/internal/clustering"
 	"vhadoop/internal/core"
-	"vhadoop/internal/datasets"
 	"vhadoop/internal/faults"
 	"vhadoop/internal/mapreduce"
 	"vhadoop/internal/nmon"
@@ -28,23 +26,12 @@ type Workload struct {
 	Run  func(p *sim.Proc, pl *core.Platform) ([]mapreduce.KV, error)
 }
 
-// Wordcount is a 32 MB, 4-reduce wordcount with combiner.
-func Wordcount() Workload {
-	return Workload{Name: "wordcount", Run: func(p *sim.Proc, pl *core.Platform) ([]mapreduce.KV, error) {
-		const size = 32e6
-		recs := datasets.Text(pl.Engine.Rand(), datasets.DefaultTextOptions(size))
-		if _, err := pl.LoadText(p, "/chaos/wc", size, recs); err != nil {
-			return nil, err
-		}
-		out, _, err := pl.MR.RunAndCollect(p, workloads.WordcountJob("/chaos/wc", "", 4, true))
-		return out, err
-	}}
-}
-
-// TeraSort is a 32 MB TeraGen + TeraSort + TeraValidate pipeline.
-func TeraSort() Workload {
-	return Workload{Name: "terasort", Run: func(p *sim.Proc, pl *core.Platform) ([]mapreduce.KV, error) {
-		res, err := workloads.RunTeraSort(p, pl, workloads.DefaultTeraOptions(32e6))
+// FromSpec adapts any workloads.Spec into a chaos-testable Workload — the
+// chaos matrix picks up new workload families for free once they implement
+// the Spec interface.
+func FromSpec(s workloads.Spec) Workload {
+	return Workload{Name: s.Workload(), Run: func(p *sim.Proc, pl *core.Platform) ([]mapreduce.KV, error) {
+		res, err := s.Run(p, pl)
 		if err != nil {
 			return nil, err
 		}
@@ -52,28 +39,21 @@ func TeraSort() Workload {
 	}}
 }
 
+// Wordcount is a 32 MB, 4-reduce wordcount with combiner.
+func Wordcount() Workload {
+	return FromSpec(workloads.WordcountSpec{Input: "/chaos/wc", SizeBytes: 32e6, Reduces: 4, Combiner: true})
+}
+
+// TeraSort is a 32 MB TeraGen + TeraSort + TeraValidate pipeline.
+func TeraSort() Workload {
+	return FromSpec(workloads.TeraSortSpec{Options: workloads.DefaultTeraOptions(32e6)})
+}
+
 // Canopy is Mahout-style canopy clustering over the control-chart dataset:
 // the ML workload of the chaos matrix. Its canonical output is the final
 // canopy center set.
 func Canopy() Workload {
-	return Workload{Name: "canopy", Run: func(p *sim.Proc, pl *core.Platform) ([]mapreduce.KV, error) {
-		series := datasets.ControlChart(pl.Engine.Rand(), datasets.DefaultControlChartOptions())
-		vectors := clustering.FromFloats(datasets.ControlVectors(series))
-		d := clustering.NewDriver(pl, "/chaos/canopy")
-		if err := d.Load(p, vectors); err != nil {
-			return nil, err
-		}
-		res, err := clustering.CanopyMR(p, d,
-			clustering.CanopyOptions{T1: 80, T2: 55, Distance: clustering.Euclidean})
-		if err != nil {
-			return nil, err
-		}
-		out := make([]mapreduce.KV, len(res.Centers))
-		for i, c := range res.Centers {
-			out[i] = mapreduce.KV{Key: fmt.Sprintf("c%04d", i), Value: fmt.Sprintf("%.9g", []float64(c))}
-		}
-		return out, nil
-	}}
+	return FromSpec(workloads.CanopySpec{Dir: "/chaos/canopy"})
 }
 
 // DFSIO is the TestDFSIO write-then-read HDFS stress phase pair: the
@@ -81,21 +61,7 @@ func Canopy() Workload {
 // workloads spawn sites the spawn-domain ledger tracks. Its canonical
 // output is the two phase throughputs.
 func DFSIO() Workload {
-	return Workload{Name: "dfsio", Run: func(p *sim.Proc, pl *core.Platform) ([]mapreduce.KV, error) {
-		opts := workloads.DFSIOOptions{Files: 6, FileBytes: 4e6}
-		wr, err := workloads.RunDFSIOWrite(p, pl, opts)
-		if err != nil {
-			return nil, err
-		}
-		rd, err := workloads.RunDFSIORead(p, pl, opts)
-		if err != nil {
-			return nil, err
-		}
-		return []mapreduce.KV{
-			{Key: "write", Value: fmt.Sprintf("%.9g", wr.ThroughputMBps)},
-			{Key: "read", Value: fmt.Sprintf("%.9g", rd.ThroughputMBps)},
-		}, nil
-	}}
+	return FromSpec(workloads.DFSIOSpec{Options: workloads.DFSIOOptions{Files: 6, FileBytes: 4e6}})
 }
 
 // Options is the chaos platform: 8 nodes split across both machines,

@@ -1,0 +1,298 @@
+package jobsvc_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"vhadoop/internal/core"
+	"vhadoop/internal/jobsvc"
+	"vhadoop/internal/sim"
+	"vhadoop/internal/workloads"
+)
+
+// Assertions inside pl.Run drivers and spawned procs must be reported by
+// returning an error, never t.Fatalf: Fatalf calls runtime.Goexit, which
+// kills the sim proc mid-hand-off and wedges the engine instead of
+// failing the test.
+
+// testOpts is a small deterministic platform.
+func testOpts(nodes int, seed int64) core.Options {
+	opts := core.DefaultOptions()
+	opts.Nodes = nodes
+	opts.Seed = seed
+	return opts
+}
+
+// tinyWC is a one-map one-reduce wordcount over its own input file.
+func tinyWC(name string) workloads.WordcountSpec {
+	return workloads.WordcountSpec{Input: "/jsvc/" + name, SizeBytes: 8e6, Reduces: 1, RealLines: 8}
+}
+
+// wideWC is a wordcount whose map demand exceeds any test cluster.
+func wideWC(name string) workloads.WordcountSpec {
+	return workloads.WordcountSpec{Input: "/jsvc/" + name, SizeBytes: 1024e6, Reduces: 1, RealLines: 64}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	pl := core.MustNewPlatform(testOpts(5, 7))
+	svc := jobsvc.New(pl, jobsvc.Config{MaxQueued: 2, CapacityBytes: 400e6})
+	if _, err := svc.Register("acct", 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := pl.Run(func(p *sim.Proc) error {
+		if _, err := svc.Submit(p, "ghost", tinyWC("g0")); !errors.Is(err, jobsvc.ErrUnknownTenant) {
+			return fmt.Errorf("unknown tenant err = %v", err)
+		}
+		tk1, err := svc.Submit(p, "acct", tinyWC("a0"))
+		if err != nil {
+			return fmt.Errorf("first submit: %v", err)
+		}
+		tk2, err := svc.Submit(p, "acct", tinyWC("a1"))
+		if err != nil {
+			return fmt.Errorf("second submit: %v", err)
+		}
+		// The service is not Started yet, so the backlog cannot drain
+		// between submissions and the queue cap is deterministic.
+		if _, err := svc.Submit(p, "acct", tinyWC("a2")); !errors.Is(err, jobsvc.ErrQueueFull) {
+			return fmt.Errorf("over-cap submit err = %v", err)
+		}
+		if _, err := svc.Submit(p, "acct", wideWC("big")); !errors.Is(err, jobsvc.ErrQueueFull) {
+			// Queue cap is checked before capacity.
+			return fmt.Errorf("queued big submit err = %v", err)
+		}
+		svc.Start()
+		svc.Drain(p)
+		if _, err := svc.Submit(p, "acct", wideWC("big")); !errors.Is(err, jobsvc.ErrCapacity) {
+			return fmt.Errorf("capacity reject err = %v", err)
+		}
+		for i, tk := range []*jobsvc.Ticket{tk1, tk2} {
+			res, err := tk.Wait(p)
+			if err != nil {
+				return fmt.Errorf("job %d: %v", i, err)
+			}
+			if res.Workload != "wordcount" || len(res.Output) == 0 {
+				return fmt.Errorf("job %d result: %+v", i, res)
+			}
+			if tk.State() != jobsvc.Done {
+				return fmt.Errorf("job %d state = %v", i, tk.State())
+			}
+		}
+		stats := svc.Stats()[0]
+		if stats.Submitted != 2 || stats.Completed != 2 || stats.Rejected != 3 {
+			return fmt.Errorf("tenant stats = %+v", stats)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedFairShare(t *testing.T) {
+	pl := core.MustNewPlatform(testOpts(5, 11))
+	svc := jobsvc.New(pl, jobsvc.Config{Tick: 2})
+	if _, err := svc.Register("gold", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("bronze", 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := pl.Run(func(p *sim.Proc) error {
+		for i := 0; i < 12; i++ {
+			if _, err := svc.Submit(p, "gold", tinyWC(fmt.Sprintf("g%d", i)), jobsvc.WithoutOutput()); err != nil {
+				return err
+			}
+			if _, err := svc.Submit(p, "bronze", tinyWC(fmt.Sprintf("b%d", i)), jobsvc.WithoutOutput()); err != nil {
+				return err
+			}
+		}
+		svc.Start()
+		svc.Drain(p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := svc.Stats()
+	gold, bronze := stats[0], stats[1]
+	if gold.Completed != 12 || bronze.Completed != 12 {
+		t.Fatalf("completions: gold %d bronze %d", gold.Completed, bronze.Completed)
+	}
+	if gold.ContendedReservedSlotSeconds == 0 || bronze.ContendedReservedSlotSeconds == 0 {
+		t.Fatalf("no contended usage recorded: %+v %+v", gold, bronze)
+	}
+	// Compare the reservation integrals — the quantity fair share
+	// allocates. Cluster occupancy echoes it too noisily for a tight
+	// bound (reduce slots idle in shuffle still count as occupied).
+	ratio := gold.ContendedReservedSlotSeconds / bronze.ContendedReservedSlotSeconds
+	if ratio < 1.8 || ratio > 5 {
+		t.Fatalf("contended reserved slot-second ratio = %.2f, want ~3 for 3:1 weights", ratio)
+	}
+	if j := svc.Jain(); j < 0.9 {
+		t.Fatalf("weighted Jain index = %.3f, want >= 0.9", j)
+	}
+}
+
+func TestBackfillJumpsBlockedHead(t *testing.T) {
+	pl := core.MustNewPlatform(testOpts(3, 13))
+	svc := jobsvc.New(pl, jobsvc.Config{Tick: 2, Backfill: true})
+	if _, err := svc.Register("batch", 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := pl.Run(func(p *sim.Proc) error {
+		// Two cluster-wide jobs on one tenant: the first takes every slot,
+		// the second blocks as that tenant's queue head. (A second tenant
+		// would not do: its idle account makes it the fair-share head and
+		// its job dispatches on the normal path, not as a backfill.)
+		if _, err := svc.Submit(p, "batch", wideWC("w0")); err != nil {
+			return err
+		}
+		if _, err := svc.Submit(p, "batch", wideWC("w1")); err != nil {
+			return err
+		}
+		// A slot-free DFSIO job fits the (zero) leftover demand and must
+		// jump the blocked head.
+		tk, err := svc.Submit(p, "batch", workloads.DFSIOSpec{Options: workloads.DFSIOOptions{Files: 2, FileBytes: 2e6}})
+		if err != nil {
+			return err
+		}
+		svc.Start()
+		svc.Drain(p)
+		if _, err := tk.Wait(p); err != nil {
+			return fmt.Errorf("backfilled job failed: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Backfills() == 0 {
+		t.Fatal("no backfill happened")
+	}
+}
+
+func TestPreemptionUnblocksStarvingTenant(t *testing.T) {
+	pl := core.MustNewPlatform(testOpts(3, 17))
+	svc := jobsvc.New(pl, jobsvc.Config{
+		Tick: 2, Preemption: true, StarveWait: 10, MaxPreemptPerTick: 2,
+	})
+	if _, err := svc.Register("hog", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("vip", 4); err != nil {
+		t.Fatal(err)
+	}
+	_, err := pl.Run(func(p *sim.Proc) error {
+		hogTk, err := svc.Submit(p, "hog", wideWC("hog"))
+		if err != nil {
+			return err
+		}
+		vipTk, err := svc.Submit(p, "vip", wideWC("vip"))
+		if err != nil {
+			return err
+		}
+		svc.Start()
+		svc.Drain(p)
+		if _, err := hogTk.Wait(p); err != nil {
+			return fmt.Errorf("hog job should survive preemption: %v", err)
+		}
+		if _, err := vipTk.Wait(p); err != nil {
+			return fmt.Errorf("vip job failed: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Preemptions() == 0 {
+		t.Fatal("no slots were preempted")
+	}
+	if svc.Stats()[0].Preempted == 0 {
+		t.Fatalf("hog lost no attempts: %+v", svc.Stats()[0])
+	}
+}
+
+func TestDeadlineOrdering(t *testing.T) {
+	pl := core.MustNewPlatform(testOpts(2, 19))
+	svc := jobsvc.New(pl, jobsvc.Config{Tick: 2})
+	if _, err := svc.Register("acct", 1); err != nil {
+		t.Fatal(err)
+	}
+	// One worker means one job runs at a time, so completion order is
+	// dispatch order: earliest deadline, later deadline, then deadline-less.
+	var order []string
+	_, err := pl.Run(func(p *sim.Proc) error {
+		track := func(name string, tk *jobsvc.Ticket) {
+			pl.Engine.Spawn("track:"+name, func(q *sim.Proc) {
+				if _, err := tk.Wait(q); err == nil {
+					order = append(order, name)
+				}
+			})
+		}
+		none, err := svc.Submit(p, "acct", tinyWC("none"))
+		if err != nil {
+			return err
+		}
+		late, err := svc.Submit(p, "acct", tinyWC("late"), jobsvc.WithDeadline(4000))
+		if err != nil {
+			return err
+		}
+		soon, err := svc.Submit(p, "acct", tinyWC("soon"), jobsvc.WithDeadline(2000))
+		if err != nil {
+			return err
+		}
+		track("none", none)
+		track("late", late)
+		track("soon", soon)
+		svc.Start()
+		svc.Drain(p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "soon" || order[1] != "late" || order[2] != "none" {
+		t.Fatalf("completion order = %v, want [soon late none]", order)
+	}
+	st := svc.Stats()[0]
+	if st.DeadlinesMissed != 0 {
+		t.Fatalf("deadlines missed = %d", st.DeadlinesMissed)
+	}
+}
+
+func TestQuotaCapsConcurrency(t *testing.T) {
+	pl := core.MustNewPlatform(testOpts(5, 23))
+	svc := jobsvc.New(pl, jobsvc.Config{Tick: 2})
+	if _, err := svc.Register("capped", 1, jobsvc.WithQuota(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	maxRunning := 0
+	_, err := pl.Run(func(p *sim.Proc) error {
+		for i := 0; i < 4; i++ {
+			if _, err := svc.Submit(p, "capped", tinyWC(fmt.Sprintf("q%d", i)), jobsvc.WithoutOutput()); err != nil {
+				return err
+			}
+		}
+		svc.Start()
+		pl.Engine.Spawn("watcher", func(q *sim.Proc) {
+			for svc.QueueDepth() > 0 || svc.RunningJobs() > 0 {
+				if r := svc.RunningJobs(); r > maxRunning {
+					maxRunning = r
+				}
+				q.Sleep(1)
+			}
+		})
+		svc.Drain(p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxRunning != 1 {
+		t.Fatalf("max concurrent jobs = %d, want 1 under quota (1,1)", maxRunning)
+	}
+	if svc.Stats()[0].Completed != 4 {
+		t.Fatalf("completed = %d", svc.Stats()[0].Completed)
+	}
+}

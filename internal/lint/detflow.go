@@ -556,6 +556,19 @@ func (d *detFunc) sinkOf(call *ast.CallExpr) ([]ast.Expr, string) {
 			return call.Args, "the engine trace (Engine.Tracef)"
 		case path == "vhadoop/internal/nmon" && name == "Annotate" && isMethod:
 			return call.Args, "the nmon event stream (Monitor.Annotate)"
+		case path == "vhadoop/internal/jobsvc" && isMethod:
+			// The job service's replay surface: tenant names and submission
+			// arguments land in the daemon's trace and span events
+			// (Service.eventf) and in the canonical per-tenant report, all
+			// byte-compared by the determinism suite.
+			switch name {
+			case "eventf":
+				return call.Args, "the job-service event stream (Service.eventf)"
+			case "Register":
+				return call.Args, "the job-service tenant report (Service.Register)"
+			case "Submit":
+				return call.Args, "the job-service event stream (Service.Submit)"
+			}
 		case path == "vhadoop/internal/obs" && isMethod:
 			// The observability plane's exports are part of the replay
 			// surface: spans, span attributes and events land in the JSON

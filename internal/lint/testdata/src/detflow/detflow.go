@@ -13,9 +13,11 @@ import (
 	"strings"
 	"time"
 
+	"vhadoop/internal/jobsvc"
 	"vhadoop/internal/mapreduce"
 	"vhadoop/internal/obs"
 	"vhadoop/internal/sim"
+	"vhadoop/internal/workloads"
 )
 
 func main() {}
@@ -204,4 +206,26 @@ func obsSpanClean(pl *obs.Plane, name string, seconds float64) {
 	sp.SetAttr("outcome", "done")
 	sp.SetFloat("seconds", seconds)
 	sp.Finish()
+}
+
+// The job service's submission surface is a sink too: tenant names and
+// submission arguments land in the daemon's trace and span events and
+// in the canonical per-tenant report, all replay-compared.
+
+// jobsvcRegisterStamp mints a tenant name from the wall clock; the name
+// keys the byte-compared tenant report.
+func jobsvcRegisterStamp(svc *jobsvc.Service) {
+	_, _ = svc.Register(stamp(), 1) // want "the job-service tenant report"
+}
+
+// jobsvcSubmitRand routes the global math/rand stream into a submission
+// argument; the tenant name lands in the dispatch trace line.
+func jobsvcSubmitRand(p *sim.Proc, svc *jobsvc.Service) {
+	_, _ = svc.Submit(p, fmt.Sprintf("t%d", rand.Int()), workloads.WordcountSpec{Input: "/in"}) // want "the job-service event stream"
+}
+
+// jobsvcSubmitClean is the blessed path: deterministic tenant names and
+// specs flow into the service freely.
+func jobsvcSubmitClean(p *sim.Proc, svc *jobsvc.Service) {
+	_, _ = svc.Submit(p, "gold", workloads.WordcountSpec{Input: "/in", SizeBytes: 8e6, Reduces: 1})
 }

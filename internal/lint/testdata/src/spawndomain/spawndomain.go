@@ -144,3 +144,21 @@ func nestedSpawn(e *sim.Engine, n *node) {
 		})
 	})
 }
+
+// jobsvcDaemon mirrors the job service's scheduler shape: a daemon loop
+// that mutates unannotated (shared) service state and dispatches runner
+// procs that fire a Done latch. Both closures are shared-required —
+// shared writes in the daemon, a Shared-only Fire in the runner — so
+// both plain Spawns are exactly right and stay quiet.
+func jobsvcDaemon(e *sim.Engine, b *book, d *sim.Done) {
+	e.Spawn("jobsvc-sched", func(p *sim.Proc) {
+		for b.entries > 0 {
+			b.entries--
+			e.Spawn("jobsvc-run", func(q *sim.Proc) {
+				q.Sleep(1)
+				d.Fire()
+			})
+			p.Sleep(2)
+		}
+	})
+}

@@ -15,6 +15,15 @@ import (
 // winning one.
 var errAttemptKilled = errors.New("mapreduce: attempt superseded")
 
+// errPreempted unwinds a running attempt the scheduler reclaimed from an
+// over-share tenant; unlike a failure it does not burn the task's attempt
+// budget.
+var errPreempted = errors.New("mapreduce: attempt preempted")
+
+// ErrJobKilled is the terminal error of a job ended by Handle.Kill or by
+// the job service's admission/quota enforcement.
+var ErrJobKilled = errors.New("mapreduce: job killed")
+
 // Config carries the engine parameters of the paper's Hadoop Module
 // (map.tasks.maximum, reduce.tasks.maximum and friends).
 type Config struct {
@@ -124,9 +133,18 @@ type Cluster struct {
 	cfg      Config
 	trackers []*Tracker
 
-	pending []*task // cross-job FIFO of schedulable tasks
+	// pending is the cross-job queue of schedulable tasks, ordered by job
+	// priority (descending) with submission order breaking ties — at the
+	// default priority 0 it degenerates to the original FIFO.
+	pending []*task
 	jobs    []*job
 	stopped bool
+
+	// Per-tenant running-slot ledger, maintained by launch/onTaskExit and
+	// read (never iterated — map order must stay off every deterministic
+	// path) by the job service's fair-share scheduler.
+	tenantMapRunning    map[string]int
+	tenantReduceRunning map[string]int
 
 	obs   *obs.Plane // nil outside core.NewPlatform; every use is guarded
 	instr *instruments
@@ -144,7 +162,11 @@ func NewCluster(e *sim.Engine, cfg Config, master *xen.VM, dfs *hdfs.Cluster) *C
 	if cfg.MaxAttempts < 1 {
 		cfg.MaxAttempts = 1
 	}
-	return &Cluster{engine: e, master: master, dfs: dfs, cfg: cfg}
+	return &Cluster{
+		engine: e, master: master, dfs: dfs, cfg: cfg,
+		tenantMapRunning:    make(map[string]int),
+		tenantReduceRunning: make(map[string]int),
+	}
 }
 
 // Config returns the cluster configuration.
@@ -307,7 +329,7 @@ func (c *Cluster) requeue(t *task) {
 	t.parts = nil
 	t.partSizes = nil
 	t.skips = 1 // re-executions skip the locality delay
-	c.pending = append(c.pending, t)
+	c.enqueuePending(t)
 }
 
 // assign hands pending tasks to tr's free slots: data-local maps first, then
@@ -391,13 +413,152 @@ func (c *Cluster) takePending(i int) *task {
 	return t
 }
 
+// enqueuePending inserts t into the pending queue at its job's priority
+// rank: before the first queued task of a strictly lower-priority job,
+// after everything at the same or higher priority. Default-priority jobs
+// therefore append, preserving the original cross-job FIFO byte-for-byte.
+func (c *Cluster) enqueuePending(t *task) {
+	if pr := t.job.priority; pr != 0 {
+		for i, q := range c.pending {
+			if q.job.priority < pr {
+				c.pending = append(c.pending, nil)
+				copy(c.pending[i+1:], c.pending[i:])
+				c.pending[i] = t
+				return
+			}
+		}
+	}
+	c.pending = append(c.pending, t)
+}
+
+// sweepPending drops tasks of finished (completed, failed or killed) jobs
+// from the queue so they never reach a slot.
+func (c *Cluster) sweepPending() {
+	kept := c.pending[:0]
+	for _, t := range c.pending {
+		if !t.job.finished() {
+			kept = append(kept, t)
+		}
+	}
+	c.pending = kept
+}
+
+// killJob terminates j with err: waiters unblock immediately, running
+// attempts abort (their watchers release the slots), and its queued tasks
+// are swept from the pending queue.
+func (c *Cluster) killJob(j *job, err error) {
+	if j.finished() {
+		return
+	}
+	j.fail(err)
+	c.eventf(obs.KindJob, "jobtracker: killing job %s: %v", j.cfg.Name, err)
+	for _, ts := range [][]*task{j.maps, j.reduces} {
+		for _, t := range ts {
+			for _, proc := range t.attemptProcs {
+				proc.Abort(errAttemptKilled)
+			}
+		}
+	}
+	c.sweepPending()
+}
+
+// PreemptTenant reclaims up to n running slots of the given kind from
+// tenant's jobs: the youngest jobs lose their highest-indexed running,
+// non-speculated attempts first (newest work has the least sunk cost).
+// Preempted tasks requeue without burning attempt budget. Returns the
+// number of attempts actually preempted.
+func (c *Cluster) PreemptTenant(tenant string, kind TaskKind, n int) int {
+	preempted := 0
+	for i := len(c.jobs) - 1; i >= 0 && preempted < n; i-- {
+		j := c.jobs[i]
+		if j.tenant != tenant || j.finished() {
+			continue
+		}
+		tasks := j.maps
+		if kind == ReduceTask {
+			tasks = j.reduces
+		}
+		for ti := len(tasks) - 1; ti >= 0 && preempted < n; ti-- {
+			t := tasks[ti]
+			if t.state != TaskRunning || t.speculated || len(t.attemptProcs) != 1 {
+				continue
+			}
+			t.attemptProcs[0].Abort(errPreempted)
+			preempted++
+		}
+	}
+	return preempted
+}
+
+// SlotTotals returns the cluster's configured slot capacity across alive
+// tasktrackers.
+func (c *Cluster) SlotTotals() (maps, reduces int) {
+	for _, tr := range c.trackers {
+		if tr.Alive() {
+			maps += c.cfg.MapSlots
+			reduces += c.cfg.ReduceSlots
+		}
+	}
+	return maps, reduces
+}
+
+// FreeSlots returns the currently idle slots across alive tasktrackers.
+func (c *Cluster) FreeSlots() (maps, reduces int) {
+	for _, tr := range c.trackers {
+		if tr.Alive() {
+			maps += tr.mapFree
+			reduces += tr.reduceFree
+		}
+	}
+	return maps, reduces
+}
+
+// TenantSlots returns the number of slots tenant's jobs occupy right now.
+func (c *Cluster) TenantSlots(tenant string) (maps, reduces int) {
+	return c.tenantMapRunning[tenant], c.tenantReduceRunning[tenant]
+}
+
+// PendingTasks returns the depth of the cross-job pending queue.
+func (c *Cluster) PendingTasks() int { return len(c.pending) }
+
+// LocalityScore reports the fraction of the named input files' blocks that
+// currently have a replica on an alive tasktracker with a free map slot —
+// the placement signal the job service's locality-aware dispatch uses.
+// Files not (yet) in HDFS contribute no blocks; with no resolvable blocks
+// at all the score is 0.
+func (c *Cluster) LocalityScore(inputs []string) float64 {
+	blocks, local := 0, 0
+	for _, name := range inputs {
+		//vhlint:allow errflow -- the error is the answer: Lookup failing means "not yet staged", and such a file contributes no blocks to the score
+		f, err := c.dfs.Lookup(name)
+		if err != nil {
+			continue
+		}
+		for _, b := range f.Blocks {
+			blocks++
+			for _, tr := range c.trackers {
+				if tr.Alive() && tr.mapFree > 0 && c.dfs.IsLocal(b, tr.VM) {
+					local++
+					break
+				}
+			}
+		}
+	}
+	if blocks == 0 {
+		return 0
+	}
+	return float64(local) / float64(blocks)
+}
+
 // launch starts one attempt of t on tr and a watcher that routes the
 // attempt's outcome back to the scheduler.
 func (c *Cluster) launch(tr *Tracker, t *task) {
 	if t.kind == MapTask {
 		tr.mapFree--
+		c.tenantMapRunning[t.job.tenant]++
 	} else {
 		tr.reduceFree--
+		c.tenantReduceRunning[t.job.tenant]++
 	}
 	tr.running[t] = true
 	t.state = TaskRunning
@@ -430,8 +591,10 @@ func (c *Cluster) launch(tr *Tracker, t *task) {
 func (c *Cluster) onTaskExit(tr *Tracker, t *task, err error, sp *obs.Span) {
 	if t.kind == MapTask {
 		tr.mapFree++
+		c.tenantMapRunning[t.job.tenant]--
 	} else {
 		tr.reduceFree++
+		c.tenantReduceRunning[t.job.tenant]--
 	}
 	delete(tr.running, t)
 	if c.stopped || t.job.finished() {
@@ -447,6 +610,19 @@ func (c *Cluster) onTaskExit(tr *Tracker, t *task, err error, sp *obs.Span) {
 		if tr.dead || t.state == TaskDone {
 			// declareDead requeued it, or a killed duplicate unwound.
 			sp.SetAttr("outcome", "unwound").Finish()
+			return
+		}
+		if err == errPreempted {
+			// Reclaimed by the fair-share scheduler, not the task's fault:
+			// hand the attempt budget back and requeue at the front of its
+			// priority class (skips=1 bypasses the locality delay).
+			if c.instr != nil {
+				c.instr.preemptions.Inc()
+			}
+			c.spanEventf(sp, "preempting %s%d of %s on %s", t.kind, t.index, t.job.cfg.Name, tr.VM.Name)
+			sp.SetAttr("outcome", "preempted").Finish()
+			t.attempts--
+			c.requeue(t)
 			return
 		}
 		if c.instr != nil {
@@ -502,5 +678,5 @@ func (c *Cluster) speculate(t *task) {
 		c.instr.speculations.Inc()
 	}
 	c.eventf(obs.KindTask, "speculating %s%d of %s", t.kind, t.index, t.job.cfg.Name)
-	c.pending = append(c.pending, t)
+	c.enqueuePending(t)
 }

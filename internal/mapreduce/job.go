@@ -76,7 +76,13 @@ type task struct {
 // job is a submitted MapReduce job.
 type job struct {
 	cluster *Cluster
-	cfg     JobConfig
+	cfg     JobSpec
+
+	// Per-submission knobs (see SubmitOption).
+	tenant   string
+	priority int
+	deadline sim.Time // 0: none
+	collect  bool     // retain real output records
 
 	maps    []*task
 	reduces []*task
@@ -109,6 +115,10 @@ func (j *job) fail(err error) {
 	}
 	j.err = err
 	j.isDone = true
+	// Failed jobs get the same terminal timestamps as completed ones, so
+	// Wait always reports a consistent (stats, err) pair.
+	j.stats.Finished = j.cluster.engine.Now()
+	j.stats.Runtime = j.stats.Finished - j.stats.Submitted
 	if i := j.cluster.instr; i != nil {
 		i.jobsFailed.Inc()
 	}
@@ -140,13 +150,16 @@ func (j *job) taskCompleted(t *task) {
 		if t.wasLocal {
 			j.stats.LocalMaps++
 		}
+		j.stats.MapSeconds += t.doneIn
 		j.mapsDone++
 		if j.mapsDone == len(j.maps) && len(j.reduces) > 0 {
 			j.phaseMap.Finish()
 		}
 		j.rotateMapSignal()
 		if len(j.reduces) == 0 {
-			j.outputs[t.index] = t.out
+			if j.collect {
+				j.outputs[t.index] = t.out
+			}
 			j.stats.OutputBytes += t.outBytes
 			j.stats.OutputRecords += len(t.out)
 			if j.mapsDone == len(j.maps) {
@@ -156,7 +169,10 @@ func (j *job) taskCompleted(t *task) {
 		return
 	}
 	j.stats.ShuffledBytes += t.shuffled
-	j.outputs[t.index] = t.out
+	j.stats.ReduceSeconds += t.doneIn
+	if j.collect {
+		j.outputs[t.index] = t.out
+	}
 	j.stats.OutputBytes += t.outBytes
 	j.stats.OutputRecords += len(t.out)
 	j.reducesDone++
@@ -192,7 +208,10 @@ func (j *job) outputRecords() []KV {
 // Handle tracks a submitted job.
 type Handle struct{ j *job }
 
-// Wait blocks p until the job completes and returns its stats.
+// Wait blocks p until the job completes and returns its stats. It is safe to
+// call repeatedly — on an already-finished job (completed, failed or killed)
+// it returns the stored stats and error immediately, and every call returns
+// the same pair.
 func (h *Handle) Wait(p *sim.Proc) (JobStats, error) {
 	h.j.done.Wait(p)
 	return h.j.stats, h.j.err
@@ -200,6 +219,21 @@ func (h *Handle) Wait(p *sim.Proc) (JobStats, error) {
 
 // Stats returns the job stats (final once Wait has returned).
 func (h *Handle) Stats() JobStats { return h.j.stats }
+
+// Err returns the job's terminal error: nil while running or after success,
+// the failure cause (or ErrJobKilled) once the job has failed.
+func (h *Handle) Err() error { return h.j.err }
+
+// Tenant returns the tenant account the job was submitted under.
+func (h *Handle) Tenant() string { return h.j.tenant }
+
+// Deadline returns the job's completion deadline (0: none).
+func (h *Handle) Deadline() sim.Time { return h.j.deadline }
+
+// Kill terminates the job: running attempts are aborted, its pending tasks
+// leave the queue, and waiters unblock with ErrJobKilled. Killing a finished
+// job is a no-op.
+func (h *Handle) Kill() { h.j.cluster.killJob(h.j, ErrJobKilled) }
 
 // Progress reports completed and total map and reduce tasks.
 func (h *Handle) Progress() (mapsDone, maps, reducesDone, reduces int) {
@@ -209,8 +243,47 @@ func (h *Handle) Progress() (mapsDone, maps, reducesDone, reduces int) {
 // Done reports whether the job has finished.
 func (h *Handle) Done() bool { return h.j.finished() }
 
-// OutputRecords returns the real output records (valid after completion).
+// OutputRecords returns the real output records (valid after completion;
+// nil when the job was submitted with WithCollectOutput(false)).
 func (h *Handle) OutputRecords() []KV { return h.j.outputRecords() }
+
+// SubmitOption tunes one submission of a JobSpec.
+type SubmitOption func(*submitOpts)
+
+type submitOpts struct {
+	tenant   string
+	priority int
+	deadline sim.Time
+	collect  bool
+}
+
+// WithTenant attributes the job to a tenant account. The scheduler's
+// per-tenant slot ledger and the job service's fair-share accounting key
+// off this name.
+func WithTenant(name string) SubmitOption {
+	return func(o *submitOpts) { o.tenant = name }
+}
+
+// WithPriority sets the job's scheduling priority (default 0). Pending
+// tasks of higher-priority jobs are offered to free slots before those of
+// lower-priority ones; ties keep submission order.
+func WithPriority(pr int) SubmitOption {
+	return func(o *submitOpts) { o.priority = pr }
+}
+
+// WithDeadline records the virtual time by which the job should finish.
+// The cluster itself does not enforce it; the job service's placement
+// policy orders queued jobs by deadline slack.
+func WithDeadline(t sim.Time) SubmitOption {
+	return func(o *submitOpts) { o.deadline = t }
+}
+
+// WithCollectOutput controls whether the job retains its real output
+// records for OutputRecords (default true). Long-running services turn it
+// off for jobs whose output nobody reads back.
+func WithCollectOutput(keep bool) SubmitOption {
+	return func(o *submitOpts) { o.collect = keep }
+}
 
 // defaultPartition is Hadoop's hash partitioner: FNV-1a over the key bytes,
 // inlined so the per-emit hot path allocates neither a hash.Hash32 nor a
@@ -233,48 +306,60 @@ func defaultPartition(key string, numReduces int) int {
 // Submit registers a job with the jobtracker: the client RPCs the master,
 // the master charges job-setup time, input splits become map tasks (one per
 // HDFS block) and everything enters the pending queue. Tasks start flowing
-// at the next tasktracker heartbeats, as in Hadoop.
-func (c *Cluster) Submit(p *sim.Proc, cfg JobConfig) (*Handle, error) {
-	if cfg.NewMapper == nil {
-		return nil, fmt.Errorf("mapreduce: job %s has no mapper", cfg.Name)
+// at the next tasktracker heartbeats, as in Hadoop. Options attribute the
+// submission to a tenant, raise its priority, attach a deadline or turn off
+// output collection; a bare Submit behaves exactly as before the options
+// existed.
+func (c *Cluster) Submit(p *sim.Proc, spec JobSpec, opts ...SubmitOption) (*Handle, error) {
+	so := submitOpts{collect: true}
+	for _, opt := range opts {
+		opt(&so)
 	}
-	if cfg.NumReduces > 0 && cfg.NewReducer == nil {
-		return nil, fmt.Errorf("mapreduce: job %s has %d reduces but no reducer", cfg.Name, cfg.NumReduces)
+	if spec.NewMapper == nil {
+		return nil, fmt.Errorf("mapreduce: job %s has no mapper", spec.Name)
 	}
-	if cfg.Partition == nil {
-		cfg.Partition = defaultPartition
+	if spec.NumReduces > 0 && spec.NewReducer == nil {
+		return nil, fmt.Errorf("mapreduce: job %s has %d reduces but no reducer", spec.Name, spec.NumReduces)
+	}
+	if spec.Partition == nil {
+		spec.Partition = defaultPartition
 	}
 	j := &job{
-		cluster: c,
-		cfg:     cfg,
-		mapDone: sim.NewDone(c.engine),
-		done:    sim.NewDone(c.engine),
+		cluster:  c,
+		cfg:      spec,
+		tenant:   so.tenant,
+		priority: so.priority,
+		deadline: so.deadline,
+		collect:  so.collect,
+		mapDone:  sim.NewDone(c.engine),
+		done:     sim.NewDone(c.engine),
 	}
-	j.stats.Name = cfg.Name
+	j.stats.Name = spec.Name
+	j.stats.Tenant = so.tenant
 	j.stats.Submitted = c.engine.Now()
 
 	// Resolve input blocks and cut them into map splits.
 	var blocks []*hdfs.Block
-	for _, name := range cfg.Input {
+	for _, name := range spec.Input {
 		f, err := c.dfs.Lookup(name)
 		if err != nil {
-			return nil, fmt.Errorf("mapreduce: job %s: %w", cfg.Name, err)
+			return nil, fmt.Errorf("mapreduce: job %s: %w", spec.Name, err)
 		}
 		blocks = append(blocks, f.Blocks...)
 	}
 	if len(blocks) == 0 {
-		return nil, fmt.Errorf("mapreduce: job %s has no input blocks", cfg.Name)
+		return nil, fmt.Errorf("mapreduce: job %s has no input blocks", spec.Name)
 	}
-	for _, s := range makeSplits(blocks, cfg.NumMaps) {
+	for _, s := range makeSplits(blocks, spec.NumMaps) {
 		j.maps = append(j.maps, &task{job: j, kind: MapTask, index: len(j.maps), split: s})
 	}
-	for r := 0; r < cfg.NumReduces; r++ {
+	for r := 0; r < spec.NumReduces; r++ {
 		j.reduces = append(j.reduces, &task{job: j, kind: ReduceTask, index: r})
 	}
 	j.stats.MapTasks = len(j.maps)
 	j.stats.ReduceTasks = len(j.reduces)
-	if cfg.NumReduces > 0 {
-		j.outputs = make([][]KV, cfg.NumReduces)
+	if spec.NumReduces > 0 {
+		j.outputs = make([][]KV, spec.NumReduces)
 	} else {
 		j.outputs = make([][]KV, len(j.maps))
 	}
@@ -287,20 +372,22 @@ func (c *Cluster) Submit(p *sim.Proc, cfg JobConfig) (*Handle, error) {
 	c.jobs = append(c.jobs, j)
 	j.startSpans()
 	for _, t := range j.maps {
-		c.pending = append(c.pending, t)
+		c.enqueuePending(t)
 	}
 	for _, t := range j.reduces {
-		c.pending = append(c.pending, t)
+		c.enqueuePending(t)
 	}
 	if c.cfg.Speculative {
-		c.engine.Spawn("speculator:"+cfg.Name, func(q *sim.Proc) { c.speculatorLoop(q, j) })
+		c.engine.Spawn("speculator:"+spec.Name, func(q *sim.Proc) { c.speculatorLoop(q, j) })
 	}
 	return &Handle{j: j}, nil
 }
 
-// Run submits cfg and blocks p until completion.
-func (c *Cluster) Run(p *sim.Proc, cfg JobConfig) (JobStats, error) {
-	h, err := c.Submit(p, cfg)
+// Run submits spec and blocks p until completion.
+//
+// Deprecated: use Submit followed by Handle.Wait.
+func (c *Cluster) Run(p *sim.Proc, spec JobSpec) (JobStats, error) {
+	h, err := c.Submit(p, spec)
 	if err != nil {
 		return JobStats{}, err
 	}
@@ -308,8 +395,10 @@ func (c *Cluster) Run(p *sim.Proc, cfg JobConfig) (JobStats, error) {
 }
 
 // RunAndCollect is Run returning the job's real output records as well.
-func (c *Cluster) RunAndCollect(p *sim.Proc, cfg JobConfig) ([]KV, JobStats, error) {
-	h, err := c.Submit(p, cfg)
+//
+// Deprecated: use Submit followed by Handle.Wait and Handle.OutputRecords.
+func (c *Cluster) RunAndCollect(p *sim.Proc, spec JobSpec) ([]KV, JobStats, error) {
+	h, err := c.Submit(p, spec)
 	if err != nil {
 		return nil, JobStats{}, err
 	}

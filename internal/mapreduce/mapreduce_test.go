@@ -59,6 +59,29 @@ func wordcountJob(input, output string, reduces int, combine bool) mapreduce.Job
 	return cfg
 }
 
+// runJob and runCollect are the Submit+Wait forms of the deprecated Run and
+// RunAndCollect shims; every test but TestOutputLandsInHDFS (which
+// deliberately keeps the shims covered) goes through them.
+func runJob(p *sim.Proc, c *mapreduce.Cluster, cfg mapreduce.JobSpec) (mapreduce.JobStats, error) {
+	h, err := c.Submit(p, cfg)
+	if err != nil {
+		return mapreduce.JobStats{}, err
+	}
+	return h.Wait(p)
+}
+
+func runCollect(p *sim.Proc, c *mapreduce.Cluster, cfg mapreduce.JobSpec) ([]mapreduce.KV, mapreduce.JobStats, error) {
+	h, err := c.Submit(p, cfg)
+	if err != nil {
+		return nil, mapreduce.JobStats{}, err
+	}
+	stats, err := h.Wait(p)
+	if err != nil {
+		return nil, stats, err
+	}
+	return h.OutputRecords(), stats, nil
+}
+
 // runWordcount provisions a platform, loads sizeBytes of input made of the
 // given lines, runs wordcount and returns stats plus real output counts.
 func runWordcount(t *testing.T, opts core.Options, lines []string, sizeBytes float64, reduces int, combine bool) (mapreduce.JobStats, map[string]int) {
@@ -70,7 +93,7 @@ func runWordcount(t *testing.T, opts core.Options, lines []string, sizeBytes flo
 		if _, err := pl.LoadText(p, "/in", sizeBytes, lineRecords(lines, sizeBytes/float64(len(lines)))); err != nil {
 			return err
 		}
-		out, st, err := pl.MR.RunAndCollect(p, wordcountJob("/in", "/out", reduces, combine))
+		out, st, err := runCollect(p, pl.MR, wordcountJob("/in", "/out", reduces, combine))
 		if err != nil {
 			return err
 		}
@@ -132,6 +155,8 @@ func TestOutputLandsInHDFS(t *testing.T) {
 		if _, err := pl.LoadText(p, "/in", 64e6, lineRecords(testLines, 1e6)); err != nil {
 			return err
 		}
+		// Deliberately the deprecated Run shim: this one call site keeps the
+		// backward-compatible surface covered until it is removed.
 		_, err := pl.MR.Run(p, wordcountJob("/in", "/out", 2, false))
 		return err
 	})
@@ -167,7 +192,7 @@ func TestMapOnlyJob(t *testing.T) {
 			Cost: mapreduce.CostModel{TaskSetupCPU: 1},
 		}
 		var err error
-		out, _, err = pl.MR.RunAndCollect(p, cfg)
+		out, _, err = runCollect(p, pl.MR, cfg)
 		return err
 	})
 	if err != nil {
@@ -210,7 +235,7 @@ func TestDataLocalityPreferred(t *testing.T) {
 func TestMissingInputFails(t *testing.T) {
 	pl := core.MustNewPlatform(smallOpts(4, core.Normal))
 	_, err := pl.Run(func(p *sim.Proc) error {
-		_, err := pl.MR.Run(p, wordcountJob("/nope", "", 1, false))
+		_, err := runJob(p, pl.MR, wordcountJob("/nope", "", 1, false))
 		return err
 	})
 	if err == nil {
@@ -239,7 +264,7 @@ func TestCrossDomainShuffleCrossesGuestNICs(t *testing.T) {
 			}
 			cfg.Cost = mapreduce.CostModel{TaskSetupCPU: 1.5, SortCPUPerByte: 5e-9}
 			var err error
-			stats, err = pl.MR.Run(p, cfg)
+			stats, err = runJob(p, pl.MR, cfg)
 			return err
 		})
 		if err != nil {
@@ -306,7 +331,7 @@ func runSpill(t *testing.T, sortBuf float64) mapreduce.JobStats {
 			})
 		}
 		var err error
-		stats, err = pl.MR.Run(p, cfg)
+		stats, err = runJob(p, pl.MR, cfg)
 		return err
 	})
 	if err != nil {
@@ -346,7 +371,7 @@ func TestTaskReexecutionAfterVMCrash(t *testing.T) {
 		// Crash one worker 20s into the job (well before its ~32 maps on 10
 		// slots can finish).
 		pl.Engine.After(20, func() { pl.VMs[2].Crash() })
-		out, st, err := pl.MR.RunAndCollect(p, wordcountJob("/in", "", 2, false))
+		out, st, err := runCollect(p, pl.MR, wordcountJob("/in", "", 2, false))
 		if err != nil {
 			return err
 		}
@@ -389,7 +414,7 @@ func TestTrackerHangDeclaredDeadButJobCompletes(t *testing.T) {
 		}
 		zombie := pl.MR.Trackers()[1]
 		pl.Engine.After(20, func() { zombie.Hang(1e6) })
-		out, st, err := pl.MR.RunAndCollect(p, wordcountJob("/in", "", 2, false))
+		out, st, err := runCollect(p, pl.MR, wordcountJob("/in", "", 2, false))
 		if err != nil {
 			return err
 		}
@@ -425,7 +450,7 @@ func TestTrackerShortHangRecovers(t *testing.T) {
 		tr := pl.MR.Trackers()[0]
 		pl.Engine.After(5, func() { tr.Hang(pl.Engine.Now() + 15) })
 		var err error
-		stats, err = pl.MR.Run(p, wordcountJob("/in", "", 2, false))
+		stats, err = runJob(p, pl.MR, wordcountJob("/in", "", 2, false))
 		return err
 	})
 	if err != nil {
@@ -468,7 +493,7 @@ func TestSpeculativeExecutionDuplicatesStraggler(t *testing.T) {
 		cfg := wordcountJob("/in", "", 1, false)
 		cfg.Cost.MapCPUPerByte = 1.2e-7 // CPU-dominated maps amplify the straggler
 		var err error
-		stats, err = pl.MR.Run(p, cfg)
+		stats, err = runJob(p, pl.MR, cfg)
 		return err
 	})
 	if err != nil {
@@ -537,7 +562,7 @@ func TestSpeculativeLoserIsKilled(t *testing.T) {
 		cfg := wordcountJob("/in", "", 1, false)
 		cfg.Cost.MapCPUPerByte = 1.2e-7
 		var err error
-		stats, err = pl.MR.Run(p, cfg)
+		stats, err = runJob(p, pl.MR, cfg)
 		return err
 	})
 	if err != nil {
@@ -607,7 +632,7 @@ func TestReconfigureAdjustsSlots(t *testing.T) {
 			return err
 		}
 		var err error
-		stats, err = pl.MR.Run(p, identityJob("/in", 1))
+		stats, err = runJob(p, pl.MR, identityJob("/in", 1))
 		return err
 	})
 	if err != nil {
@@ -626,7 +651,7 @@ func TestMissingSideInputFailsJob(t *testing.T) {
 		}
 		cfg := identityJob("/in", 1)
 		cfg.SideInput = []string{"/does-not-exist"}
-		_, err := pl.MR.Run(p, cfg)
+		_, err := runJob(p, pl.MR, cfg)
 		return err
 	})
 	if err == nil {

@@ -22,6 +22,7 @@ type instruments struct {
 	zombieDiscards *obs.Counter
 	trackerDeaths  *obs.Counter
 	speculations   *obs.Counter
+	preemptions    *obs.Counter
 	jobsCompleted  *obs.Counter
 	jobsFailed     *obs.Counter
 
@@ -55,6 +56,7 @@ func (c *Cluster) SetObs(pl *obs.Plane) {
 		zombieDiscards: pl.Counter("mr_zombie_discards_total"),
 		trackerDeaths:  pl.Counter("mr_tracker_deaths_total"),
 		speculations:   pl.Counter("mr_speculative_attempts_total"),
+		preemptions:    pl.Counter("mr_preemptions_total"),
 		jobsCompleted:  pl.Counter("mr_jobs_completed_total"),
 		jobsFailed:     pl.Counter("mr_jobs_failed_total"),
 
@@ -129,6 +131,9 @@ func (j *job) startSpans() {
 	j.span = pl.Start(obs.KindJob, j.cfg.Name, nil).
 		SetAttr("maps", strconv.Itoa(len(j.maps))).
 		SetAttr("reduces", strconv.Itoa(len(j.reduces)))
+	if j.tenant != "" {
+		j.span.SetAttr("tenant", j.tenant)
+	}
 	j.phaseMap = pl.Start(obs.KindPhase, j.cfg.Name+"/map", j.span)
 }
 

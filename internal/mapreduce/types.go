@@ -73,8 +73,11 @@ type CostModel struct {
 	TaskSetupCPU        float64 // JVM launch + task init, VCPU seconds
 }
 
-// JobConfig describes one MapReduce job.
-type JobConfig struct {
+// JobSpec is the immutable description of one MapReduce job: its input,
+// output, task counts, user code and cost model. Everything that varies per
+// submission rather than per job — tenant account, priority, deadline,
+// whether to retain output records — travels as SubmitOptions instead.
+type JobSpec struct {
 	Name       string
 	Input      []string // HDFS files; one map task per block by default
 	Output     string   // HDFS directory for reduce output ("" discards)
@@ -97,6 +100,12 @@ type JobConfig struct {
 
 	Cost CostModel
 }
+
+// JobConfig is the old name for JobSpec, from when the job description and
+// the per-submission tuning knobs lived in one struct.
+//
+// Deprecated: use JobSpec with Cluster.Submit and SubmitOptions.
+type JobConfig = JobSpec
 
 // TaskKind distinguishes map from reduce tasks.
 type TaskKind int
@@ -126,7 +135,9 @@ const (
 
 // JobStats summarises a completed job.
 type JobStats struct {
-	Name        string
+	Name string
+	// Tenant is the account the job was submitted under ("" for none).
+	Tenant      string
 	Submitted   sim.Time
 	Finished    sim.Time
 	Runtime     sim.Time
@@ -145,4 +156,9 @@ type JobStats struct {
 	// Attempts counts task executions including re-executions and
 	// speculative duplicates.
 	Attempts int
+	// MapSeconds and ReduceSeconds accumulate the runtimes of the winning
+	// task attempts — the slot-second usage fair-share scheduling accounts
+	// against tenants.
+	MapSeconds    sim.Time
+	ReduceSeconds sim.Time
 }

@@ -148,6 +148,23 @@ type Job struct {
 	// BytesPerPref is the virtual size of one serialized preference.
 	BytesPerPref float64
 	Cost         mapreduce.CostModel
+	// SubmitOpts (tenant, priority, deadline) are forwarded to every
+	// MapReduce job in the pipeline.
+	SubmitOpts []mapreduce.SubmitOption
+}
+
+// runJob submits spec with the job's submission options and waits,
+// returning the collected output.
+func (j *Job) runJob(p *sim.Proc, spec mapreduce.JobSpec) ([]mapreduce.KV, mapreduce.JobStats, error) {
+	h, err := j.pl.MR.Submit(p, spec, j.SubmitOpts...)
+	if err != nil {
+		return nil, mapreduce.JobStats{}, err
+	}
+	stats, err := h.Wait(p)
+	if err != nil {
+		return nil, stats, err
+	}
+	return h.OutputRecords(), stats, nil
 }
 
 // NewJob prepares a recommender over the given HDFS input path.
@@ -189,7 +206,7 @@ func (j *Job) RunMR(p *sim.Proc) (map[string][]Rec, []mapreduce.JobStats, error)
 	var allStats []mapreduce.JobStats
 
 	// Stage 1: user vectors.
-	userVecs, stats, err := j.pl.MR.RunAndCollect(p, mapreduce.JobConfig{
+	userVecs, stats, err := j.runJob(p, mapreduce.JobSpec{
 		Name:       "recsys-uservectors",
 		Input:      []string{j.input},
 		NumReduces: 4,
@@ -243,7 +260,7 @@ func (j *Job) RunMR(p *sim.Proc) (map[string][]Rec, []mapreduce.JobStats, error)
 	}
 
 	// Stage 2: co-occurrence counts.
-	coOut, stats, err := j.pl.MR.RunAndCollect(p, mapreduce.JobConfig{
+	coOut, stats, err := j.runJob(p, mapreduce.JobSpec{
 		Name:       "recsys-cooccurrence",
 		Input:      []string{vecFile},
 		NumReduces: 4,
@@ -298,7 +315,7 @@ func (j *Job) RunMR(p *sim.Proc) (map[string][]Rec, []mapreduce.JobStats, error)
 	// Stage 3: recommendations (map-only over user vectors, matrix as side
 	// input).
 	topN := j.TopN
-	recOut, stats, err := j.pl.MR.RunAndCollect(p, mapreduce.JobConfig{
+	recOut, stats, err := j.runJob(p, mapreduce.JobSpec{
 		Name:      "recsys-recommend",
 		Input:     []string{vecFile},
 		SideInput: []string{matFile},

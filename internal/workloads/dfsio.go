@@ -18,6 +18,18 @@ import (
 type DFSIOOptions struct {
 	Files     int     // concurrent files (one per worker, round-robin)
 	FileBytes float64 // size of each file
+	// Dir is the HDFS directory holding the benchmark files (default
+	// "/dfsio"). Concurrent DFSIO jobs in the job service get distinct
+	// directories so their file sets never collide.
+	Dir string
+}
+
+// dir returns the configured directory or the classic default.
+func (o DFSIOOptions) dir() string {
+	if o.Dir == "" {
+		return "/dfsio"
+	}
+	return o.Dir
 }
 
 // DFSIOResult is one read or write phase.
@@ -38,7 +50,7 @@ func RunDFSIOWrite(p *sim.Proc, pl *core.Platform, opts DFSIOOptions) (DFSIOResu
 	procs := make([]*sim.Proc, opts.Files)
 	for i := 0; i < opts.Files; i++ {
 		vm := workers[i%len(workers)]
-		name := fmt.Sprintf("/dfsio/f%03d", i)
+		name := fmt.Sprintf("%s/f%03d", opts.dir(), i)
 		procs[i] = pl.Engine.Spawn("dfsio-write", func(q *sim.Proc) {
 			if _, err := pl.DFS.Write(q, vm, name, opts.FileBytes, nil); err != nil {
 				q.Fail(err)
@@ -67,7 +79,7 @@ func RunDFSIORead(p *sim.Proc, pl *core.Platform, opts DFSIOOptions) (DFSIOResul
 	stride := len(workers)/2 + 1
 	for i := 0; i < opts.Files; i++ {
 		vm := workers[(i+stride)%len(workers)]
-		name := fmt.Sprintf("/dfsio/f%03d", i)
+		name := fmt.Sprintf("%s/f%03d", opts.dir(), i)
 		procs[i] = pl.Engine.Spawn("dfsio-read", func(q *sim.Proc) {
 			if _, err := pl.DFS.Read(q, vm, name); err != nil {
 				q.Fail(err)

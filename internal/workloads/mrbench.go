@@ -21,6 +21,17 @@ type MRBenchOptions struct {
 	Reduces     int
 	BytesPerMap float64
 	LinesPerMap int
+	// Input overrides the generated input's HDFS name (default derives
+	// from the map/reduce shape, so equally-shaped runs share staging).
+	Input string
+}
+
+// input returns the configured input name or the shape-derived default.
+func (o MRBenchOptions) input() string {
+	if o.Input == "" {
+		return fmt.Sprintf("/mrbench/in-m%d-r%d", o.Maps, o.Reduces)
+	}
+	return o.Input
 }
 
 // DefaultMRBenchOptions mirrors the benchmark's defaults scaled to the
@@ -34,6 +45,7 @@ type MRBenchResult struct {
 	Options MRBenchOptions
 	Times   []sim.Time
 	AvgTime sim.Time
+	Stats   []mapreduce.JobStats // one per run
 }
 
 // mrbenchJob: the real MRBench runs a trivial text job (identity map,
@@ -69,9 +81,10 @@ func mrbenchJob(input string, run, maps, reduces int, bytesPerRecord float64) ma
 
 // RunMRBench generates the input once, then runs the small job NumRuns times
 // and reports each runtime plus the average — the number MRBench prints.
-func RunMRBench(p *sim.Proc, pl *core.Platform, opts MRBenchOptions) (MRBenchResult, error) {
+// Submission options pass through to every run's job.
+func RunMRBench(p *sim.Proc, pl *core.Platform, opts MRBenchOptions, subOpts ...mapreduce.SubmitOption) (MRBenchResult, error) {
 	res := MRBenchResult{Options: opts}
-	input := fmt.Sprintf("/mrbench/in-m%d-r%d", opts.Maps, opts.Reduces)
+	input := opts.input()
 	if !pl.DFS.Exists(input) {
 		totalBytes := opts.BytesPerMap * float64(opts.Maps)
 		textOpts := datasets.TextOptions{
@@ -88,12 +101,17 @@ func RunMRBench(p *sim.Proc, pl *core.Platform, opts MRBenchOptions) (MRBenchRes
 	}
 	bytesPerRecord := opts.BytesPerMap * float64(opts.Maps) / float64(opts.LinesPerMap*opts.Maps)
 	for run := 0; run < opts.NumRuns; run++ {
-		stats, err := pl.MR.Run(p, mrbenchJob(input, run, opts.Maps, opts.Reduces, bytesPerRecord))
+		h, err := pl.MR.Submit(p, mrbenchJob(input, run, opts.Maps, opts.Reduces, bytesPerRecord), subOpts...)
+		if err != nil {
+			return res, err
+		}
+		stats, err := h.Wait(p)
 		if err != nil {
 			return res, err
 		}
 		res.Times = append(res.Times, stats.Runtime)
 		res.AvgTime += stats.Runtime
+		res.Stats = append(res.Stats, stats)
 	}
 	res.AvgTime /= sim.Time(len(res.Times))
 	return res, nil

@@ -22,6 +22,17 @@ type TeraOptions struct {
 	RealRows    int     // actual keys generated and sorted
 	GenMaps     int     // TeraGen map tasks
 	SortReduces int
+	// Dir is the HDFS working directory (default "/tera"). Concurrent
+	// TeraSort jobs in the job service get distinct directories.
+	Dir string
+}
+
+// dir returns the configured working directory or the classic default.
+func (o TeraOptions) dir() string {
+	if o.Dir == "" {
+		return "/tera"
+	}
+	return o.Dir
 }
 
 // DefaultTeraOptions scales the real row count with the data volume.
@@ -89,7 +100,7 @@ type teraRow struct {
 // TeraGen runs the generation step: a seed file carrying the real rows is
 // staged cheaply, then a map-only job writes the full-volume output through
 // HDFS replication pipelines.
-func TeraGen(p *sim.Proc, pl *core.Platform, output string, opts TeraOptions) (sim.Time, error) {
+func TeraGen(p *sim.Proc, pl *core.Platform, output string, opts TeraOptions, subOpts ...mapreduce.SubmitOption) (sim.Time, error) {
 	start := p.Now()
 	rng := pl.Engine.Rand()
 	perRow := opts.Bytes / float64(opts.RealRows)
@@ -102,7 +113,11 @@ func TeraGen(p *sim.Proc, pl *core.Platform, output string, opts TeraOptions) (s
 	if _, err := pl.DFS.Write(p, pl.Master, seed, float64(len(recs)*64), recs); err != nil {
 		return 0, err
 	}
-	if _, err := pl.MR.Run(p, teraGenJob(seed, output, opts)); err != nil {
+	h, err := pl.MR.Submit(p, teraGenJob(seed, output, opts), subOpts...)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := h.Wait(p); err != nil {
 		return 0, err
 	}
 	return p.Now() - start, nil
@@ -159,11 +174,12 @@ func teraSortJob(input, output string, reduces int, bounds []string) mapreduce.J
 }
 
 // RunTeraSort runs TeraGen + TeraSort + TeraValidate and reports the times
-// of the two measured steps plus the validation verdict.
-func RunTeraSort(p *sim.Proc, pl *core.Platform, opts TeraOptions) (TeraResult, error) {
+// of the two measured steps plus the validation verdict. Submission options
+// pass through to both MapReduce jobs.
+func RunTeraSort(p *sim.Proc, pl *core.Platform, opts TeraOptions, subOpts ...mapreduce.SubmitOption) (TeraResult, error) {
 	res := TeraResult{Options: opts}
-	data := fmt.Sprintf("/tera/in-%.0f", opts.Bytes)
-	genTime, err := TeraGen(p, pl, data, opts)
+	data := fmt.Sprintf("%s/in-%.0f", opts.dir(), opts.Bytes)
+	genTime, err := TeraGen(p, pl, data, opts, subOpts...)
 	if err != nil {
 		return res, fmt.Errorf("teragen: %w", err)
 	}
@@ -183,12 +199,16 @@ func RunTeraSort(p *sim.Proc, pl *core.Platform, opts TeraOptions) (TeraResult, 
 			inputs = append(inputs, name)
 		}
 	}
-	cfg := teraSortJob(data, data+".sorted", opts.SortReduces, bounds)
-	cfg.Input = inputs
-	out, _, err := pl.MR.RunAndCollect(p, cfg)
+	spec := teraSortJob(data, data+".sorted", opts.SortReduces, bounds)
+	spec.Input = inputs
+	h, err := pl.MR.Submit(p, spec, subOpts...)
 	if err != nil {
 		return res, fmt.Errorf("terasort: %w", err)
 	}
+	if _, err := h.Wait(p); err != nil {
+		return res, fmt.Errorf("terasort: %w", err)
+	}
+	out := h.OutputRecords()
 	res.SortTime = p.Now() - start
 	res.Rows = len(out)
 	res.Output = out

@@ -133,19 +133,25 @@ type WordcountResult struct {
 
 // RunWordcount generates a corpus of the given virtual size, loads it into
 // HDFS from the master and runs Wordcount over it, returning the job stats
-// and the real word counts.
-func RunWordcount(p *sim.Proc, pl *core.Platform, inputName string, sizeBytes float64, reduces int, combiner bool) (WordcountResult, error) {
+// and the real word counts. Submission options (tenant, priority, deadline)
+// pass through to the cluster.
+func RunWordcount(p *sim.Proc, pl *core.Platform, inputName string, sizeBytes float64, reduces int, combiner bool, opts ...mapreduce.SubmitOption) (WordcountResult, error) {
 	res := WordcountResult{InputBytes: sizeBytes}
-	recs := datasets.Text(pl.Engine.Rand(), datasets.DefaultTextOptions(sizeBytes))
 	if !pl.DFS.Exists(inputName) {
+		recs := datasets.Text(pl.Engine.Rand(), datasets.DefaultTextOptions(sizeBytes))
 		if _, err := pl.LoadText(p, inputName, sizeBytes, recs); err != nil {
 			return res, err
 		}
 	}
-	out, stats, err := pl.MR.RunAndCollect(p, WordcountJob(inputName, "", reduces, combiner))
+	h, err := pl.MR.Submit(p, WordcountJob(inputName, "", reduces, combiner), opts...)
 	if err != nil {
 		return res, err
 	}
+	stats, err := h.Wait(p)
+	if err != nil {
+		return res, err
+	}
+	out := h.OutputRecords()
 	res.Stats = stats
 	res.Counts = make(map[string]int, len(out))
 	for _, kv := range out {

@@ -1,0 +1,121 @@
+package vhadoop_test
+
+// Determinism suite for the job service: a fixed seed plus a fixed
+// submission schedule must reproduce every artifact of a multi-tenant
+// backlog byte-for-byte — the per-tenant report, the engine trace, the
+// metrics snapshot and the span trace — across independent reruns AND
+// across shard widths. The same contract holds with a fault schedule
+// firing mid-backlog: chaos decides which jobs fail, but it decides
+// identically every time.
+
+import (
+	"testing"
+
+	"vhadoop/internal/faults"
+	"vhadoop/internal/jobsvc"
+	"vhadoop/internal/jobsvc/backlog"
+	"vhadoop/internal/sim/shardtest"
+)
+
+// backlogArtifacts flattens one run into the comparable artifact set.
+func backlogArtifacts(r backlog.Result) []shardtest.Digest {
+	return []shardtest.Digest{
+		{Name: "report", Data: r.Report},
+		{Name: "trace", Data: r.Trace},
+		{Name: "metrics", Data: r.Metrics},
+		{Name: "spans", Data: r.Spans},
+	}
+}
+
+// bigBacklog is the acceptance-scale backlog: 100 tenants, 1000 jobs,
+// with backfill and preemption armed so every scheduler path runs.
+func bigBacklog(shards int) backlog.Options {
+	return backlog.Options{
+		Nodes:   16,
+		Seed:    42,
+		Shards:  shards,
+		Tenants: 100,
+		Jobs:    1000,
+		Config: jobsvc.Config{
+			Tick: 2, Backfill: true, Preemption: true,
+			StarveWait: 40, MaxPreemptPerTick: 2,
+		},
+	}
+}
+
+func TestJobsvcBacklogDeterministic(t *testing.T) {
+	run := func(shards int) backlog.Result {
+		r, err := backlog.Run(bigBacklog(shards))
+		if err != nil {
+			t.Fatalf("backlog run (shards=%d) failed: %v", shards, err)
+		}
+		return r
+	}
+	base := run(1)
+	if base.Admitted != 1000 || base.Rejected != 0 {
+		t.Fatalf("admitted %d rejected %d, want 1000/0", base.Admitted, base.Rejected)
+	}
+	completed, failed := 0, 0
+	for _, st := range base.Stats {
+		completed += st.Completed
+		failed += st.Failed
+	}
+	if completed+failed != 1000 || failed != 0 {
+		t.Fatalf("backlog did not run to completion: %d done %d failed", completed, failed)
+	}
+	if base.Report == "" || base.Metrics == "" || base.Spans == "" {
+		t.Fatal("run produced empty artifacts")
+	}
+	// The mixed backlog carries asymmetric per-tenant demand, so its Jain
+	// index only gets a sanity floor here; the fairness acceptance number
+	// (>= 0.9) is measured by the bench on the uniform-demand shape, where
+	// any share skew is the scheduler's own doing.
+	if base.Jain <= 0.2 {
+		t.Fatalf("weighted Jain index = %.3f, want > 0.2", base.Jain)
+	}
+	if base.Backfills == 0 {
+		t.Fatal("big backlog exercised no backfill")
+	}
+	want := backlogArtifacts(base)
+	shardtest.RequireIdentical(t, "rerun", want, backlogArtifacts(run(1)))
+	shardtest.RequireIdentical(t, "shards=4", want, backlogArtifacts(run(4)))
+}
+
+// TestJobsvcChaosBacklogDeterministic drives a 20-job backlog through a
+// VM crash plus a machine partition. Whatever the faults do to
+// individual jobs, the terminal state of every job — and every artifact
+// of the run — must replay identically.
+func TestJobsvcChaosBacklogDeterministic(t *testing.T) {
+	opts := backlog.Options{
+		Nodes:    8,
+		Seed:     7,
+		Tenants:  5,
+		Jobs:     20,
+		Hardened: true,
+		Config:   jobsvc.Config{Tick: 2, Backfill: true},
+		FaultsAfterStart: faults.Schedule{Faults: []faults.Fault{
+			{At: 10, Kind: faults.KindVMCrash, Target: "vm05"},
+			{At: 25, Kind: faults.KindPartition, Target: "pm2", Duration: 20},
+		}},
+	}
+	run := func() backlog.Result {
+		r, err := backlog.Run(opts)
+		if err != nil {
+			t.Fatalf("chaos backlog run failed: %v", err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+	completed, failed := 0, 0
+	for _, st := range r1.Stats {
+		completed += st.Completed
+		failed += st.Failed
+	}
+	if completed+failed != 20 {
+		t.Fatalf("jobs unaccounted for: %d done + %d failed != 20", completed, failed)
+	}
+	if r1.Trace == "" {
+		t.Fatal("faulted run produced no trace")
+	}
+	shardtest.RequireIdentical(t, "chaos-rerun", backlogArtifacts(r1), backlogArtifacts(r2))
+}

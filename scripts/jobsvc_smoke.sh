@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# jobsvc_smoke.sh — job-service regression gate for CI.
+#
+# Runs the quick jobsvc backlog study (go run ./cmd/vhadoop -quick jobsvc)
+# and gates its virtual-time metrics against the BENCH_PR10 smoke pins:
+#
+#   1. mixed-shape p99 job wait within MARGIN percent of the pin — the
+#      scheduler-quality number. Virtual time is deterministic, so any
+#      movement here is a real scheduling change, not host noise; the
+#      margin only keeps deliberate small scheduler tweaks from needing a
+#      pin refresh in the same commit.
+#   2. uniform-shape weighted Jain index >= JAIN_FLOOR — the fairness
+#      acceptance number. Uniform demand means any slot-share skew is the
+#      scheduler's own doing.
+#
+# Full-scale numbers (100 tenants x 1000 jobs) come from
+# scripts/jobsvc_bench.sh and are recorded in BENCH_PR10.json.
+#
+# Usage:
+#   scripts/jobsvc_smoke.sh
+#
+# Environment:
+#   PIN_FILE    JSON file holding the smoke pins (default BENCH_PR10.json)
+#   MARGIN      tolerated p99-wait growth over the pin, percent (default 10)
+#   JAIN_FLOOR  minimum uniform-shape Jain index (default 0.9)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PIN_FILE=${PIN_FILE:-BENCH_PR10.json}
+MARGIN=${MARGIN:-10}
+JAIN_FLOOR=${JAIN_FLOOR:-0.9}
+
+# read_pin <shape key> <metric key>: the first <metric> after <shape>
+# inside the "smoke" section.
+read_pin() {
+  awk -v shape="\"shape_$1\"" -v metric="\"$2\"" '
+    /"smoke"/ { smoke = 1 }
+    smoke && index($0, shape) {
+      v = $0
+      sub(".*" metric ": *", "", v)
+      sub(/[,}].*/, "", v)
+      print v
+      exit
+    }
+  ' "$PIN_FILE"
+}
+
+p99_pin=$(read_pin mixed p99_wait_s)
+if [[ -z "$p99_pin" ]]; then
+  echo "jobsvc_smoke: no smoke mixed p99_wait_s pin in $PIN_FILE" >&2
+  exit 2
+fi
+
+echo "jobsvc_smoke: quick backlog study vs $PIN_FILE (p99 pin ${p99_pin}s +${MARGIN}%, Jain floor $JAIN_FLOOR)" >&2
+out=$(go run ./cmd/vhadoop -quick jobsvc | grep '^jobsvc-bench')
+echo "$out" >&2
+
+metric() {
+  echo "$out" | awk -v shape="shape=$1" -v key="$2" '
+    $0 ~ shape {
+      for (i = 1; i <= NF; i++)
+        if (split($i, kv, "=") == 2 && kv[1] == key) print kv[2]
+    }
+  '
+}
+
+p99=$(metric mixed p99_wait_s)
+jain=$(metric uniform jain)
+if [[ -z "$p99" || -z "$jain" ]]; then
+  echo "jobsvc_smoke: FAIL — study output missing jobsvc-bench metrics" >&2
+  exit 1
+fi
+
+awk -v p99="$p99" -v pin="$p99_pin" -v margin="$MARGIN" \
+    -v jain="$jain" -v floor="$JAIN_FLOOR" '
+  BEGIN {
+    limit = pin * (1 + margin / 100)
+    printf "jobsvc_smoke: mixed p99 wait %.2fs, limit %.2fs\n", p99, limit > "/dev/stderr"
+    printf "jobsvc_smoke: uniform Jain %.4f, floor %.2f\n", jain, floor > "/dev/stderr"
+    fail = 0
+    if (p99 > limit) {
+      printf "jobsvc_smoke: FAIL — p99 wait regressed beyond the pin by >%s%%\n", margin > "/dev/stderr"
+      fail = 1
+    }
+    if (jain < floor) {
+      printf "jobsvc_smoke: FAIL — uniform Jain index below %.2f\n", floor > "/dev/stderr"
+      fail = 1
+    }
+    if (fail) exit 1
+    print "jobsvc_smoke: ok" > "/dev/stderr"
+  }
+'
